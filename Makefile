@@ -1,0 +1,35 @@
+# Convenience targets for the TIBFIT reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples figures clean
+
+install:
+	pip install -e '.[test]'
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Run every example script in sequence.
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/perimeter_watch.py
+	$(PYTHON) examples/seismic_decay.py
+	$(PYTHON) examples/ch_failover.py
+	$(PYTHON) examples/rotating_clusters.py
+	$(PYTHON) examples/multihop_watch.py
+	$(PYTHON) examples/target_tracking.py
+
+# Regenerate every figure's data series via the CLI (fast settings).
+figures:
+	$(PYTHON) -m repro fig 10
+	$(PYTHON) -m repro fig 11
+	$(PYTHON) -m repro fig 2 --trials 1
+	$(PYTHON) -m repro fig 3 --trials 1
+
+clean:
+	rm -rf .pytest_cache .hypothesis build dist *.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

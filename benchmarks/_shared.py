@@ -1,0 +1,31 @@
+"""Shared helpers for the figure/table regeneration benches.
+
+Every bench regenerates one table or figure from the paper and prints
+the rows/series in the same layout, then asserts the published *shape*
+(who wins, by roughly what factor, where crossovers fall).  Absolute
+numbers are not expected to match the authors' ns-2 testbed.
+
+Benches run their workload exactly once (``benchmark.pedantic`` with a
+single round): the interesting output is the regenerated data, not a
+timing distribution over repeated sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments.reporting import Series, render_series_table
+
+
+def run_once(benchmark, workload: Callable[[], object]) -> object:
+    """Execute ``workload`` exactly once under the benchmark clock."""
+    return benchmark.pedantic(workload, rounds=1, iterations=1)
+
+
+def print_figure(
+    title: str, series_map: Dict[str, Series], x_label: str
+) -> None:
+    """Print a figure's series as an aligned table."""
+    print()
+    print(f"=== {title} ===")
+    print(render_series_table(series_map, x_label=x_label))

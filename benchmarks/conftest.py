@@ -1,0 +1,1 @@
+"""Pytest wiring for the bench directory (helpers live in _shared.py)."""

@@ -1,0 +1,84 @@
+"""Ablation: LEACH rotation vs a fixed cluster head, in energy terms.
+
+§2 adopts LEACH because rotating the (expensive) CH duty "help[s]
+spread energy usage equally throughout the network".  This bench runs
+the election layer for many rounds under both policies and compares
+the energy profile: minimum remaining energy (the first node to die
+determines sensing coverage) and the spread across nodes.
+
+Expected: the fixed head's energy collapses while everyone else stays
+full (maximal spread, early first death); LEACH keeps the minimum high
+and the spread tight.
+"""
+
+import numpy as np
+
+from repro.clusterctl.leach import EnergyModel, LeachConfig, LeachElection
+from repro.network.geometry import Region
+from repro.network.topology import grid_deployment
+from repro.experiments.reporting import render_table
+from benchmarks._shared import run_once
+
+N_NODES = 49
+ROUNDS = 120
+
+
+def energy_profile(rotating: bool):
+    deployment = grid_deployment(N_NODES, Region.square(70.0))
+    energy = EnergyModel(
+        deployment.node_ids(),
+        ch_round_cost=0.006,
+        member_round_cost=0.0005,
+    )
+    if rotating:
+        election = LeachElection(
+            deployment=deployment,
+            config=LeachConfig(ch_fraction=0.1, ti_threshold=0.0),
+            energy=energy,
+            rng=np.random.default_rng(5),
+        )
+        for _ in range(ROUNDS):
+            election.run_round()
+        leaders = len(election.served_counts())
+    else:
+        for _ in range(ROUNDS):
+            energy.charge_round({0})  # the same head every round
+        leaders = 1
+    levels = [
+        energy.fraction_remaining(n) for n in deployment.node_ids()
+    ]
+    return {
+        "min_energy": min(levels),
+        "mean_energy": sum(levels) / len(levels),
+        "spread": max(levels) - min(levels),
+        "distinct_leaders": leaders,
+    }
+
+
+def test_ablation_leach_energy_spreading(benchmark):
+    def workload():
+        return {
+            "LEACH rotation (paper)": energy_profile(rotating=True),
+            "fixed cluster head": energy_profile(rotating=False),
+        }
+
+    results = run_once(benchmark, workload)
+    print()
+    print(render_table(
+        ["policy", "min energy", "mean energy", "spread",
+         "distinct leaders"],
+        [
+            (name, f"{r['min_energy']:.3f}", f"{r['mean_energy']:.3f}",
+             f"{r['spread']:.3f}", str(r["distinct_leaders"]))
+            for name, r in results.items()
+        ],
+    ))
+
+    leach = results["LEACH rotation (paper)"]
+    fixed = results["fixed cluster head"]
+    # Rotation keeps the weakest node far healthier...
+    assert leach["min_energy"] > fixed["min_energy"] + 0.2
+    # ...and the fleet far more uniform.
+    assert leach["spread"] < fixed["spread"] / 2
+    # Duty actually rotated.
+    assert leach["distinct_leaders"] >= N_NODES // 2

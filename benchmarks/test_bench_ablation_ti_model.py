@@ -1,0 +1,71 @@
+"""Ablation: exponential TI vs. a linear trust model.
+
+§3 argues the exponential decrement "is considered better than a linear
+model where a node that lies 50% of the time would still occasionally
+have the trust index value of one".  This bench quantifies that: under
+a linear model a 50%-liar's trust revisits 1.0; under the exponential
+model with asymmetric steps it stays pinned near zero.
+"""
+
+from repro.core.trust import TrustParameters, TrustTable
+from repro.experiments.reporting import render_table
+from benchmarks._shared import run_once
+
+
+class LinearTrust:
+    """The strawman §3 rejects: TI moves by +/- delta, clamped to [0,1]."""
+
+    def __init__(self, delta=0.1):
+        self.ti = 1.0
+        self.delta = delta
+        self.times_at_one = 0
+
+    def penalize(self):
+        self.ti = max(0.0, self.ti - self.delta)
+
+    def reward(self):
+        self.ti = min(1.0, self.ti + self.delta)
+        if self.ti == 1.0:
+            self.times_at_one += 1
+
+
+def simulate_fifty_percent_liar(rounds=1000):
+    """Alternate correct/faulty reports (a 50% liar) under both models."""
+    exponential = TrustTable(
+        TrustParameters(lam=0.25, fault_rate=0.1), node_ids=[0]
+    )
+    linear = LinearTrust(delta=0.1)
+    exp_at_one = 0
+    for i in range(rounds):
+        if i % 2 == 0:
+            exponential.penalize(0)
+            linear.penalize()
+        else:
+            exponential.reward(0)
+            linear.reward()
+            if exponential.ti(0) == 1.0:
+                exp_at_one += 1
+    return {
+        "exponential_final_ti": exponential.ti(0),
+        "exponential_times_at_full_trust": exp_at_one,
+        "linear_final_ti": linear.ti,
+        "linear_times_at_full_trust": linear.times_at_one,
+    }
+
+
+def test_ablation_exponential_vs_linear_trust(benchmark):
+    result = run_once(benchmark, simulate_fifty_percent_liar)
+    print()
+    print(render_table(
+        ["metric", "value"],
+        [(k, f"{v:.6f}" if isinstance(v, float) else str(v))
+         for k, v in result.items()],
+    ))
+
+    # The paper's complaint about the linear model: a 50% liar keeps
+    # bouncing back to full trust.
+    assert result["linear_times_at_full_trust"] > 0
+    # The exponential model never lets it back to 1.0 and pins it low.
+    assert result["exponential_times_at_full_trust"] == 0
+    assert result["exponential_final_ti"] < 0.01
+    assert result["linear_final_ti"] >= 0.9

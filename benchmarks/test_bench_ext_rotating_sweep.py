@@ -1,0 +1,41 @@
+"""Extension bench: the rotating network swept over percent faulty.
+
+Not a paper figure -- the paper fixes the data sink -- but the curve
+its §2 system model implies.  Three configurations: the full protocol
+(rotation + trust hand-off), rotation with per-leadership amnesia, and
+a rotating majority-voting baseline.
+
+Expected: the hand-off configuration dominates at high compromise;
+amnesia lands between it and the baseline (each leadership still
+accumulates a little state before discarding it).
+"""
+
+from repro.experiments.experiment4 import Experiment4Config, rotating_sweep
+from benchmarks._shared import print_figure, run_once
+
+CONFIG = Experiment4Config(trials=2, seed=2005)
+
+
+def test_rotating_network_sweep(benchmark):
+    data = run_once(benchmark, lambda: rotating_sweep(CONFIG))
+    print_figure(
+        "Extension: rotating multi-cluster network, accuracy vs %faulty "
+        "(level 0)",
+        data,
+        x_label="% faulty",
+    )
+
+    tibfit = {p.x: p.mean for p in data["Rotating TIBFIT"].points}
+    amnesia = {p.x: p.mean for p in data["Rotating Amnesia"].points}
+    base = {p.x: p.mean for p in data["Rotating Baseline"].points}
+
+    # Low compromise: everyone fine.
+    assert min(tibfit[10.0], amnesia[10.0], base[10.0]) > 0.9
+    # High compromise: the full protocol dominates.
+    top = 58.0
+    assert tibfit[top] >= amnesia[top] - 0.03
+    assert tibfit[top] >= base[top]
+    # And averaged over the contested region TIBFIT leads the baseline.
+    contested = [45.0, 58.0]
+    gap = sum(tibfit[x] - base[x] for x in contested) / len(contested)
+    assert gap >= 0.03

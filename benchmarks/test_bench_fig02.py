@@ -1,0 +1,35 @@
+"""Figure 2: binary-event accuracy vs. %faulty, missed alarms only.
+
+Paper shape: the network sustains over 85% accuracy through 70% of its
+nodes compromised; accuracy collapses toward the 90% mark.  Three
+curves for correct-node NER of 0%, 1%, and 5%.
+"""
+
+from repro.experiments.config import Experiment1Config
+from repro.experiments.experiment1 import figure2_data
+from benchmarks._shared import print_figure, run_once
+
+CONFIG = Experiment1Config(trials=3, seed=2005)
+
+
+def test_figure2_missed_alarms(benchmark):
+    data = run_once(benchmark, lambda: figure2_data(CONFIG))
+    print_figure(
+        "Figure 2: Experiment 1 accuracy vs %faulty (missed alarms only)",
+        data,
+        x_label="% faulty",
+    )
+
+    for label, series in data.items():
+        at = {p.x: p.mean for p in series.points}
+        # Over 85% accuracy with 70% of the network compromised.
+        assert at[70.0] > 0.85, label
+        # Low-compromise regime is essentially perfect.
+        assert at[40.0] > 0.95, label
+        # The cliff: 90% compromised loses at least 25 points vs 70%.
+        assert at[70.0] - at[90.0] > 0.25, label
+
+    # Higher NER can only hurt (curves ordered at the high end).
+    ner0 = {p.x: p.mean for p in data["NER 0% FA 0% TIBFIT"].points}
+    ner5 = {p.x: p.mean for p in data["NER 5% FA 0% TIBFIT"].points}
+    assert ner0[80.0] >= ner5[80.0] - 0.05

@@ -1,0 +1,45 @@
+"""Figure 3: binary-event accuracy with missed AND false alarms.
+
+Paper shape: heavy (75%) false alarming is *good* for the network below
+its collapse point -- the spurious reports erode the liars' trust --
+then collapses dramatically once the false-alarm coalitions start
+winning quiet-window votes; moderate (10%) false alarms hold the best
+accuracy at the top of the sweep, beating 0%.
+
+Known deviation: our quiet windows fire all of a round's false alarms
+into one collection window, so the 75% collapse lands one sweep step
+earlier (70% rather than 80% faulty).  See EXPERIMENTS.md.
+"""
+
+from repro.experiments.config import Experiment1Config
+from repro.experiments.experiment1 import figure3_data
+from benchmarks._shared import print_figure, run_once
+
+CONFIG = Experiment1Config(trials=3, seed=2005)
+
+
+def test_figure3_false_alarms(benchmark):
+    data = run_once(benchmark, lambda: figure3_data(CONFIG))
+    print_figure(
+        "Figure 3: Experiment 1 accuracy vs %faulty "
+        "(missed alarms + false alarms, NER 1%)",
+        data,
+        x_label="% faulty",
+    )
+
+    fa0 = {p.x: p.mean for p in data["NER 1% FA 0% TIBFIT"].points}
+    fa10 = {p.x: p.mean for p in data["NER 1% FA 10% TIBFIT"].points}
+    fa75 = {p.x: p.mean for p in data["NER 1% FA 75% TIBFIT"].points}
+
+    # "10% false alarms maintains the highest accuracy at this point
+    # [80%], indicating that occasional false alarms lower faulty
+    # nodes' trust indices enough to outperform 0%."
+    assert fa10[80.0] >= fa0[80.0]
+    assert fa10[80.0] >= fa75[80.0]
+    assert fa10[90.0] >= fa0[90.0] - 0.02
+
+    # "At [high] faulty nodes with 75% false alarms, accuracy falls
+    # dramatically" -- the excessive-false-alarm collapse exists.
+    assert fa75[80.0] < fa0[80.0] - 0.15
+    # Below the collapse the 75% curve is unharmed (>= 0% FA's level).
+    assert fa75[60.0] >= fa0[60.0] - 0.02

@@ -1,0 +1,39 @@
+"""Figure 5: location accuracy vs. %faulty, level-1 (smart) faulty nodes.
+
+Paper shape: "even with 58% of the network compromised, TIBFIT's
+accuracy remains over 90%.  In contrast, the baseline model falls well
+below that level once the network reaches 40% malicious nodes" -- the
+trust index forces smart liars to throttle their own lying.
+"""
+
+from repro.experiments.config import Experiment2Config
+from repro.experiments.experiment2 import figure5_data
+from benchmarks._shared import print_figure, run_once
+
+CONFIG = Experiment2Config(trials=2, seed=2005)
+SIGMA_PAIRS = ((1.6, 4.25), (2.0, 6.0))
+
+
+def test_figure5_level1(benchmark):
+    data = run_once(
+        benchmark, lambda: figure5_data(CONFIG, sigma_pairs=SIGMA_PAIRS)
+    )
+    print_figure(
+        "Figure 5: Experiment 2 accuracy vs %faulty (level 1, smart)",
+        data,
+        x_label="% faulty",
+    )
+
+    tibfit = {p.x: p.mean for p in data["Lvl 1 1.6-4.25 TIBFIT"].points}
+    base = {p.x: p.mean for p in data["Lvl 1 1.6-4.25 Baseline"].points}
+
+    # TIBFIT stays high through the whole sweep (paper: > 90%; we allow
+    # a modest tolerance for the simplified channel).
+    assert tibfit[58.0] >= 0.85
+    # The baseline falls well below TIBFIT past 40% compromised.
+    assert base[50.0] < tibfit[50.0] - 0.10
+    assert base[58.0] < tibfit[58.0] - 0.15
+    # TIBFIT's level-1 curve dominates its own level-0 behaviour at the
+    # top end: the hysteresis helps the defender.
+    for x in (40.0, 50.0, 58.0):
+        assert tibfit[x] >= base[x]

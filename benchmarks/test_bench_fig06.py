@@ -1,0 +1,39 @@
+"""Figure 6: location accuracy vs. %faulty, level-2 (colluding) nodes.
+
+Paper shape: collusion "dramatically reduce[s] the accuracy of the
+network" for both systems -- the hardest fault model -- "although the
+TIBFIT still outperforms the baseline model".
+"""
+
+from repro.experiments.config import Experiment2Config
+from repro.experiments.experiment2 import figure6_data
+from benchmarks._shared import print_figure, run_once
+
+CONFIG = Experiment2Config(trials=3, seed=2005)
+SIGMA_PAIRS = ((1.6, 4.25),)
+
+
+def test_figure6_level2(benchmark):
+    data = run_once(
+        benchmark, lambda: figure6_data(CONFIG, sigma_pairs=SIGMA_PAIRS)
+    )
+    print_figure(
+        "Figure 6: Experiment 2 accuracy vs %faulty (level 2, colluding)",
+        data,
+        x_label="% faulty",
+    )
+
+    tibfit = {p.x: p.mean for p in data["Lvl 2 1.6-4.25 TIBFIT"].points}
+    base = {p.x: p.mean for p in data["Lvl 2 1.6-4.25 Baseline"].points}
+
+    # Collusion devastates the top of the sweep relative to low
+    # compromise, for both systems.
+    assert tibfit[10.0] - tibfit[58.0] > 0.25
+    assert base[10.0] - base[58.0] > 0.25
+    # TIBFIT at or above the baseline across the sweep (within noise).
+    for x in (10.0, 20.0, 30.0, 40.0, 50.0, 58.0):
+        assert tibfit[x] >= base[x] - 0.07, f"at {x}%"
+    # And strictly better somewhere in the contested region.
+    assert any(
+        tibfit[x] > base[x] + 0.03 for x in (40.0, 50.0, 58.0)
+    )

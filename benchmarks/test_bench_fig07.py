@@ -1,0 +1,36 @@
+"""Figure 7: single vs. concurrent events, level-0 TIBFIT.
+
+Paper shape: "tolerating concurrent events does not significantly alter
+the success of the nodes in accurate detection of events" -- the two
+curves track each other across the sweep.
+"""
+
+from repro.experiments.config import Experiment2Config
+from repro.experiments.experiment2 import figure7_data
+from benchmarks._shared import print_figure, run_once
+
+CONFIG = Experiment2Config(trials=2, seed=2005, concurrent_batch=2)
+
+
+def test_figure7_concurrent_vs_single(benchmark):
+    data = run_once(benchmark, lambda: figure7_data(CONFIG))
+    print_figure(
+        "Figure 7: Experiment 2 single vs concurrent events "
+        "(level 0, TIBFIT)",
+        data,
+        x_label="% faulty",
+    )
+
+    single_label = next(l for l in data if l.endswith("Single"))
+    conc_label = next(l for l in data if l.endswith("Concurrent"))
+    single = {p.x: p.mean for p in data[single_label].points}
+    concurrent = {p.x: p.mean for p in data[conc_label].points}
+
+    # The concurrent machinery costs little anywhere on the sweep.
+    for x in single:
+        assert abs(single[x] - concurrent[x]) < 0.15, f"at {x}%"
+    # Averaged over the sweep the difference is small.
+    mean_gap = sum(
+        abs(single[x] - concurrent[x]) for x in single
+    ) / len(single)
+    assert mean_gap < 0.08

@@ -1,0 +1,37 @@
+"""Figure 9: accuracy over time under linear decay (sigma_faulty 6.0).
+
+Same expectations as Figure 8 at the larger faulty-node noise level:
+TIBFIT beats the baseline at matched sigmas over the late windows, and
+sustains materially higher accuracy deep into the decay.
+"""
+
+from repro.experiments.config import Experiment3Config
+from repro.experiments.experiment3 import figure9_data
+from benchmarks._shared import print_figure, run_once
+
+CONFIG = Experiment3Config(trials=2, seed=2005)
+SIGMA_PAIRS = ((1.6, 6.0), (2.0, 6.0))
+
+
+def test_figure9_decay(benchmark):
+    data = run_once(
+        benchmark, lambda: figure9_data(CONFIG, sigma_pairs=SIGMA_PAIRS)
+    )
+    print_figure(
+        "Figure 9: Experiment 3 accuracy over time (sigma_faulty 6.0)",
+        data,
+        x_label="events",
+    )
+
+    late = [600, 650, 700, 750]
+    for sigma_c in ("1.6", "2"):
+        tibfit = {
+            p.x: p.mean for p in data[f"{sigma_c}-6 TIBFIT"].points
+        }
+        base = {
+            p.x: p.mean for p in data[f"{sigma_c}-6 Baseline"].points
+        }
+        gap = sum(tibfit[x] - base[x] for x in late) / len(late)
+        assert gap > 0.10, f"sigma_correct={sigma_c}"
+        # Early windows (low compromise): both systems near perfect.
+        assert tibfit[50] > 0.9 and base[50] > 0.9

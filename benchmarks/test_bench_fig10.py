@@ -1,0 +1,42 @@
+"""Figure 10: analytical baseline accuracy vs. %faulty (eqs. 1-3).
+
+Regenerates the paper's analytical curves for N = 10, q = 0.5 and p in
+{0.99, 0.95, 0.90, 0.85}.  Paper shape: near-perfect through 40%
+compromised, then "the accuracy begins to fall off steeply once fifty
+percent of the network is compromised".
+"""
+
+from repro.analysis.voting import figure10_series
+from repro.experiments.reporting import Series
+from benchmarks._shared import print_figure, run_once
+
+
+def test_figure10_analytical_curves(benchmark):
+    series = run_once(benchmark, figure10_series)
+
+    printable = {}
+    for p, curve in sorted(series.items(), reverse=True):
+        s = Series(label=f"p={p:g}")
+        for percent, value in curve:
+            s.add(percent, [value])
+        printable[s.label] = s
+    print_figure(
+        "Figure 10: expected baseline accuracy vs %faulty "
+        "(N=10, q=0.5, eqs. 1-3)",
+        printable,
+        x_label="% faulty",
+    )
+
+    for p, curve in series.items():
+        at = dict(curve)
+        assert at[0.0] > 0.99
+        assert at[40.0] > 0.85
+        # Accelerating decline past the 50% crossover.
+        assert at[50.0] - at[70.0] > at[30.0] - at[50.0] - 1e-9
+        assert at[100.0] < 0.40
+
+    # Better sensors (higher p) dominate pointwise.
+    for percent_index in range(11):
+        ordered = [series[p][percent_index][1]
+                   for p in (0.99, 0.95, 0.90, 0.85)]
+        assert ordered == sorted(ordered, reverse=True)

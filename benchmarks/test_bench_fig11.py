@@ -1,0 +1,66 @@
+"""Figure 11: the decay expression f(k) for several lambda values.
+
+Regenerates f(k) = e^{-k lam (N-1)} - 2 e^{-k lam} + 1 and the
+break-even roots.  Paper shape: each curve crosses the x-axis at the
+compromise cadence k* the system tolerates; "as lambda increases, the
+frequency of nodes failing that can be tolerated increases"; and the
+end-game bound is k_max = ln(3)/lambda.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.decay import figure11_series, k_max, solve_k, sweep_lambda
+from repro.experiments.reporting import Series, render_table
+from benchmarks._shared import print_figure, run_once
+
+LAMBDAS = (0.05, 0.1, 0.25, 0.5, 1.0)
+N = 11
+
+
+def test_figure11_decay_roots(benchmark):
+    series = run_once(
+        benchmark,
+        lambda: figure11_series(lambdas=LAMBDAS, n_nodes=N,
+                                k_values=[1.0 * i for i in range(1, 41)]),
+    )
+
+    printable = {}
+    for lam, curve in series.items():
+        s = Series(label=f"lambda={lam:g}")
+        for k, f in curve:
+            s.add(k, [f])
+        printable[s.label] = s
+    print_figure(
+        f"Figure 11: f(k) vs k for several lambda (N={N})",
+        printable,
+        x_label="k",
+    )
+
+    roots = sweep_lambda(LAMBDAS, n_nodes=N)
+    rows = [
+        (f"{lam:g}", f"{k_star:.3f}", f"{k_max(lam):.3f}")
+        for lam, k_star in roots
+    ]
+    print()
+    print(render_table(["lambda", "k* (break-even)", "k_max = ln(3)/lambda"],
+                       rows))
+
+    # Roots decrease with lambda: faster trust decay tolerates more
+    # frequent compromise.
+    ks = [k for _lam, k in roots]
+    assert all(b < a for a, b in zip(ks, ks[1:]))
+
+    # Each root actually zeroes the expression and matches the curve's
+    # crossing: f < 0 before, f > 0 after.
+    for lam in LAMBDAS:
+        k_star = solve_k(lam, N)
+        before = [f for k, f in series[lam] if k < k_star]
+        after = [f for k, f in series[lam] if k > k_star]
+        assert all(f < 0 for f in before)
+        assert all(f > 0 for f in after)
+
+    # k_max formula sanity: 3 e^{-k_max lam} == 1.
+    for lam in LAMBDAS:
+        assert 3.0 * math.exp(-k_max(lam) * lam) == pytest.approx(1.0)

@@ -1,0 +1,69 @@
+"""Substrate microbenchmarks: DES kernel and voting throughput.
+
+Unlike the figure benches (which run once and print data), these use
+pytest-benchmark conventionally -- repeated timed rounds -- to track
+the cost of the two inner loops everything else sits on: the event
+queue and the CTI vote.  They exist so a performance regression in the
+substrate is visible before it silently stretches every experiment.
+"""
+
+from repro.core.binary import CtiVoter
+from repro.core.clustering import cluster_reports
+from repro.core.trust import TrustParameters, TrustTable
+from repro.network.geometry import Point
+from repro.simkernel.simulator import Simulator
+
+
+def test_kernel_event_throughput(benchmark):
+    """Schedule-and-fire cost for 10k chained events."""
+
+    def run_chain():
+        sim = Simulator(seed=0)
+        remaining = [10_000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.after(0.001, tick)
+
+        sim.after(0.001, tick)
+        sim.run()
+        return sim.events_fired
+
+    fired = benchmark(run_chain)
+    assert fired == 10_000
+
+
+def test_cti_vote_throughput(benchmark):
+    """1000 votes over a 100-node table, updates applied."""
+
+    def run_votes():
+        table = TrustTable(
+            TrustParameters(lam=0.25, fault_rate=0.1),
+            node_ids=range(100),
+        )
+        voter = CtiVoter(table)
+        reporters = list(range(60))
+        silent = list(range(60, 100))
+        for _ in range(1000):
+            voter.decide(reporters, silent)
+        return voter.votes_taken
+
+    votes = benchmark(run_votes)
+    assert votes == 1000
+
+
+def test_clustering_throughput(benchmark):
+    """The K-means heuristic over a 60-report window."""
+    # A realistic window: two true events plus scattered liars.
+    reports = (
+        [Point(20.0 + 0.1 * i, 20.0 - 0.07 * i) for i in range(25)]
+        + [Point(70.0 - 0.09 * i, 60.0 + 0.11 * i) for i in range(25)]
+        + [Point(7.0 * i % 97.0, 13.0 * i % 89.0) for i in range(10)]
+    )
+
+    def run_clustering():
+        return cluster_reports(reports, r_error=5.0)
+
+    clusters = benchmark(run_clustering)
+    assert len(clusters) >= 2

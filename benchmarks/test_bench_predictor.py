@@ -1,0 +1,71 @@
+"""Extension bench: the mean-field reliability predictor vs simulation.
+
+§7 future work asks for a theoretical model that "predict[s] system
+reliability under given constraints".  This bench runs the predictor
+head-to-head against the full event-driven simulation on Experiment 1's
+binary sweep and checks that the prediction (a) orders the sweep
+correctly, (b) places the accuracy cliff at the same place, and (c)
+tracks simulated run-average accuracy closely in the regime where the
+mean-field assumption is sound (at or below ~70% compromised; beyond
+it the model is documented to be optimistic, since it ignores the
+variance of early trust trajectories).
+"""
+
+from repro.analysis.reliability import predicted_run_accuracy
+from repro.core.trust import TrustParameters
+from repro.experiments.config import Experiment1Config
+from repro.experiments.experiment1 import run_point
+from repro.experiments.reporting import render_table
+from benchmarks._shared import run_once
+
+CONFIG = Experiment1Config(trials=3, seed=2005)
+PARAMS = TrustParameters(lam=CONFIG.lam, fault_rate=CONFIG.correct_ner)
+SWEEP = (40.0, 50.0, 60.0, 70.0, 80.0, 90.0)
+
+
+def collect():
+    rows = []
+    for percent in SWEEP:
+        m = CONFIG.n_faulty(percent)
+        predicted = predicted_run_accuracy(
+            CONFIG.n_nodes,
+            m,
+            CONFIG.correct_ner,
+            CONFIG.faulty_miss_rate,
+            PARAMS,
+            CONFIG.events_per_run,
+        )
+        simulated = sum(
+            run_point(CONFIG, percent, trial)
+            for trial in range(CONFIG.trials)
+        ) / CONFIG.trials
+        rows.append((percent, predicted, simulated))
+    return rows
+
+
+def test_predictor_tracks_simulation(benchmark):
+    rows = run_once(benchmark, collect)
+    print()
+    print(render_table(
+        ["% faulty", "predicted accuracy", "simulated accuracy", "error"],
+        [(f"{p:g}", f"{pred:.3f}", f"{sim:.3f}", f"{pred - sim:+.3f}")
+         for p, pred, sim in rows],
+    ))
+
+    predicted = {p: pred for p, pred, _sim in rows}
+    simulated = {p: sim for p, _pred, sim in rows}
+
+    # (a) Ordering: both curves are non-increasing in the compromise.
+    pred_values = [predicted[p] for p in SWEEP]
+    assert all(b <= a + 1e-9 for a, b in zip(pred_values, pred_values[1:]))
+
+    # (b) Cliff placement: both put the big drop after 80%.
+    assert predicted[80.0] - predicted[90.0] > 0.2
+    assert simulated[80.0] - simulated[90.0] > 0.1
+
+    # (c) Close tracking through 70% compromised.
+    for p in (40.0, 50.0, 60.0, 70.0):
+        assert abs(predicted[p] - simulated[p]) < 0.08, f"at {p}%"
+    # Documented optimism beyond: bounded, one-sided.
+    assert predicted[80.0] >= simulated[80.0] - 0.05
+    assert abs(predicted[80.0] - simulated[80.0]) < 0.25

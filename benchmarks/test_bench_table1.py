@@ -1,0 +1,26 @@
+"""Table 1: the Experiment-1 parameter sheet.
+
+Regenerates the parameter rows of Table 1 directly from
+:class:`Experiment1Config` defaults and checks each against the paper.
+"""
+
+from repro.experiments.config import Experiment1Config
+from repro.experiments.reporting import render_parameter_sheet
+from benchmarks._shared import run_once
+
+
+def test_table1_parameters(benchmark):
+    config = run_once(benchmark, Experiment1Config)
+    rows = dict(config.as_table())
+    print()
+    print(render_parameter_sheet(list(rows.items()),
+                                 title="Table 1: Parameters for Experiment 1"))
+
+    assert rows["Type of Event"] == "Binary Event Model"
+    assert "40%-90%" in rows["Independent Variable"]
+    assert "Missed Alarm 50%" in rows["Faulty Nodes"]
+    assert rows["Size of network"] == "10 sensing nodes, 1 CH"
+    assert rows["Number of Event neighbors"] == "10"
+    assert rows["Events per simulation"] == "100"
+    assert rows["lambda"] == "0.1"
+    assert "same as NER" in rows["Fault rate (f_r)"]

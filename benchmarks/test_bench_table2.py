@@ -1,0 +1,41 @@
+"""Table 2: the Experiment-2 parameter sheet.
+
+Regenerates the parameter rows of Table 2 from
+:class:`Experiment2Config` defaults and checks each against the paper,
+including the Rayleigh error probability the table footnote derives
+from the two Gaussian coordinates.
+"""
+
+from repro.experiments.config import Experiment2Config
+from repro.experiments.reporting import render_parameter_sheet
+from repro.sensors.sensing import SensingConfig
+from benchmarks._shared import run_once
+
+
+def test_table2_parameters(benchmark):
+    config = run_once(benchmark, Experiment2Config)
+    rows = dict(config.as_table())
+    print()
+    print(render_parameter_sheet(list(rows.items()),
+                                 title="Table 2: Parameters for Experiment 2"))
+
+    assert "Location Determination" in rows["Type of Event"]
+    assert "10%-58%" in rows["Independent variable"]
+    assert "1.6" in rows["Error rate for correct nodes"]
+    faulty_row = rows["Error rate for faulty nodes (level 0)"]
+    assert "4.25" in faulty_row and "25%" in faulty_row
+    assert rows["lambda"] == "0.25"
+    assert rows["Fault rate (f_r)"].startswith("0.1")
+
+    # The table's error percentages: P(report lands > r_error away).
+    p_faulty = SensingConfig(
+        location_sigma=config.sigma_faulty
+    ).error_probability_beyond(config.r_error)
+    p_correct = SensingConfig(
+        location_sigma=config.sigma_correct
+    ).error_probability_beyond(config.r_error)
+    print(f"\nDerived error rates beyond r_error={config.r_error}:")
+    print(f"  correct (sigma={config.sigma_correct}): {p_correct:.4f}")
+    print(f"  faulty  (sigma={config.sigma_faulty}): {p_faulty:.4f}")
+    assert p_correct < 0.01   # correct nodes essentially never err
+    assert 0.4 < p_faulty < 0.6  # faulty nodes err about half the time

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Seismic monitoring under progressive network decay.
+
+The paper's other motivating scenario (§1): "seismic monitoring to
+detect and locate tremors in a given area" -- over a deployment whose
+nodes progressively fail or fall to an adversary (§4.3).  The network
+starts with 5% of nodes compromised; every 50 tremors another 5% fall,
+up to 75%.
+
+The example prints an accuracy-over-time table for TIBFIT and the
+baseline side by side, reproducing the Experiment-3 story: stateless
+voting collapses once the compromised fraction crosses one half, while
+TIBFIT's accumulated trust state keeps masking the liars well past it.
+
+Run:
+    python examples/seismic_decay.py
+"""
+
+from dataclasses import replace
+
+from repro.experiments.config import Experiment3Config
+from repro.experiments.experiment3 import percent_compromised_at, run_decay
+from repro.experiments.reporting import render_sparkline, render_table
+
+CONFIG = Experiment3Config(
+    n_nodes=100,
+    sigma_correct=1.6,
+    sigma_faulty=4.25,
+    trials=1,
+    seed=42,
+)
+
+
+def main() -> None:
+    print("Seismic watch: 100 sensors; +5% compromised every 50 tremors "
+          "(5% -> 75%)\n")
+
+    tibfit_windows = run_decay(CONFIG, trial=0)
+    baseline_windows = run_decay(
+        replace(CONFIG, use_trust=False), trial=0
+    )
+
+    rows = []
+    collapse_marked = False
+    for (w, acc_t), (_w2, acc_b) in zip(tibfit_windows, baseline_windows):
+        events_elapsed = (w + 1) * CONFIG.events_per_step
+        compromised = percent_compromised_at(
+            CONFIG, events_elapsed - CONFIG.events_per_step
+        )
+        marker = ""
+        if compromised > 50.0 and not collapse_marked:
+            marker = "<- majority compromised"
+            collapse_marked = True
+        rows.append(
+            (f"{events_elapsed}", f"{compromised:.0f}%",
+             f"{acc_t:.1%}", f"{acc_b:.1%}", marker)
+        )
+    print(render_table(
+        ["tremors", "% compromised", "TIBFIT", "Baseline", ""],
+        rows,
+    ))
+
+    print("\nAccuracy over time (0..1):")
+    print("  TIBFIT   " + render_sparkline(
+        [acc for _w, acc in tibfit_windows], lo=0.0, hi=1.0))
+    print("  Baseline " + render_sparkline(
+        [acc for _w, acc in baseline_windows], lo=0.0, hi=1.0))
+
+    late_t = [acc for w, acc in tibfit_windows if w >= 10]
+    late_b = [acc for w, acc in baseline_windows if w >= 10]
+    print(f"\nMean accuracy beyond 50% compromised: "
+          f"TIBFIT {sum(late_t)/len(late_t):.1%} vs "
+          f"baseline {sum(late_b)/len(late_b):.1%}")
+    print("TIBFIT keeps locating tremors because each newly captured "
+          "sensor walks into a trust deficit built from its "
+          "predecessors' lies.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""TIBFIT reproduction: trust-index fault tolerance for sensor networks.
+
+A complete implementation of the protocol and evaluation from
+"TIBFIT: Trust Index Based Fault Tolerance for Arbitrary Data Faults in
+Sensor Networks" (Krasniewski et al., DSN 2005), built on a
+deterministic discrete-event simulation substrate.
+
+Package map
+-----------
+``repro.simkernel``
+    Discrete-event kernel: simulator, event queue, RNG streams, tracing.
+``repro.network``
+    Geometry, deployments, typed messages, the lossy radio channel, and
+    the multi-hop reliable dissemination extension.
+``repro.sensors``
+    Perception model, event generation, the four node categories
+    (correct / level 0 / level 1 / level 2), behaviour specs.
+``repro.core``
+    The paper's contribution: trust tables, CTI voting, report
+    clustering, concurrent-event tracking, diagnosis, the majority
+    baseline.
+``repro.clusterctl``
+    LEACH election with the TI gate, cluster heads, shadow cluster
+    heads, the base station, and the rotating multi-cluster simulation.
+``repro.analysis``
+    Closed forms from §5 (figs. 10-11) and the reliability predictor.
+``repro.experiments``
+    Tables 1-2 as configs, the simulation harness, Experiments 1-3,
+    metrics, and terminal reporting.
+
+Quick start
+-----------
+>>> from repro.experiments.harness import SimulationRun, CorrectSpec, FaultSpec
+>>> run = SimulationRun(mode="binary", n_nodes=10, sensing_radius=100.0,
+...                     lam=0.1, fault_rate=0.01,
+...                     fault_spec=FaultSpec(level=0, drop_rate=0.5),
+...                     faulty_ids=(0, 1, 2), seed=1)
+>>> _ = run.run(20)
+>>> run.metrics().accuracy
+1.0
+"""
+
+__version__ = "1.0.0"
+__paper__ = (
+    "Krasniewski, Varadharajan, Rabeler, Bagchi, Hu. "
+    "TIBFIT: Trust Index Based Fault Tolerance for Arbitrary Data "
+    "Faults in Sensor Networks. DSN 2005."
+)

@@ -1,0 +1,320 @@
+"""Command-line interface to the TIBFIT reproduction.
+
+Subcommands::
+
+    tibfit-repro table 1|2          print a paper parameter sheet
+    tibfit-repro fig N [...]        regenerate one figure's data series
+    tibfit-repro run [...]          one ad-hoc simulation, metrics printed
+    tibfit-repro analyze baseline   eqs. 1-3 success-probability curve
+    tibfit-repro analyze decay      Fig.-11 break-even roots and k_max
+
+Also reachable as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.decay import k_max, solve_k
+from repro.analysis.voting import success_curve
+from repro.experiments import experiment1, experiment2, experiment3
+from repro.experiments.config import (
+    Experiment1Config,
+    Experiment2Config,
+    Experiment3Config,
+)
+from repro.experiments.harness import CorrectSpec, FaultSpec, SimulationRun
+from repro.experiments.reporting import (
+    Series,
+    render_parameter_sheet,
+    render_series_table,
+    render_table,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tibfit-repro",
+        description="TIBFIT (DSN 2005) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table = sub.add_parser("table", help="print a paper parameter sheet")
+    p_table.add_argument("number", type=int, choices=(1, 2))
+
+    p_fig = sub.add_parser("fig", help="regenerate one figure's series")
+    p_fig.add_argument("number", type=int, choices=tuple(range(2, 12)))
+    p_fig.add_argument("--trials", type=int, default=2,
+                       help="simulation trials per sweep point")
+    p_fig.add_argument("--events", type=int, default=None,
+                       help="events per run (default: the paper's)")
+    p_fig.add_argument("--seed", type=int, default=2005)
+
+    p_run = sub.add_parser("run", help="one ad-hoc simulation")
+    p_run.add_argument("--mode", choices=("binary", "location"),
+                       default="location")
+    p_run.add_argument("--nodes", type=int, default=100)
+    p_run.add_argument("--percent-faulty", type=float, default=30.0)
+    p_run.add_argument("--level", type=int, choices=(0, 1, 2), default=0)
+    p_run.add_argument("--events", type=int, default=100)
+    p_run.add_argument("--baseline", action="store_true",
+                       help="use majority voting instead of TIBFIT")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--sigma-correct", type=float, default=1.6)
+    p_run.add_argument("--sigma-faulty", type=float, default=4.25)
+    p_run.add_argument("--lambda", dest="lam", type=float, default=0.25)
+    p_run.add_argument("--fault-rate", type=float, default=0.1)
+    p_run.add_argument("--diagnosis-threshold", type=float, default=None)
+
+    p_rot = sub.add_parser(
+        "rotate", help="rotating multi-cluster network run (§2)"
+    )
+    p_rot.add_argument("--nodes", type=int, default=100)
+    p_rot.add_argument("--percent-faulty", type=float, default=30.0)
+    p_rot.add_argument("--level", type=int, choices=(0, 1, 2), default=0)
+    p_rot.add_argument("--rounds", type=int, default=6,
+                       help="leadership rounds")
+    p_rot.add_argument("--events-per-round", type=int, default=8)
+    p_rot.add_argument("--baseline", action="store_true")
+    p_rot.add_argument("--no-transfer", action="store_true",
+                       help="disable the BS trust hand-off (amnesia)")
+    p_rot.add_argument("--seed", type=int, default=0)
+
+    p_an = sub.add_parser("analyze", help="closed-form analysis (§5)")
+    an_sub = p_an.add_subparsers(dest="analysis", required=True)
+    p_base = an_sub.add_parser("baseline", help="eqs. 1-3 curve")
+    p_base.add_argument("--n", type=int, default=10)
+    p_base.add_argument("--p", type=float, default=0.95)
+    p_base.add_argument("--q", type=float, default=0.5)
+    p_decay = an_sub.add_parser("decay", help="Fig.-11 roots and k_max")
+    p_decay.add_argument("--n", type=int, default=11)
+    p_decay.add_argument(
+        "--lambdas", type=float, nargs="+",
+        default=[0.05, 0.1, 0.25, 0.5, 1.0],
+    )
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.number == 1:
+        sheet = Experiment1Config().as_table()
+        title = "Table 1: Parameters for Experiment 1"
+    else:
+        sheet = Experiment2Config().as_table()
+        title = "Table 2: Parameters for Experiment 2"
+    print(render_parameter_sheet(sheet, title=title))
+    return 0
+
+
+def _figure_data(args: argparse.Namespace) -> Dict[str, Series]:
+    n = args.number
+    if n in (2, 3):
+        config = Experiment1Config(trials=args.trials, seed=args.seed)
+        if args.events:
+            config = replace(config, events_per_run=args.events)
+        return (experiment1.figure2_data if n == 2
+                else experiment1.figure3_data)(config)
+    if n in (4, 5, 6, 7):
+        config = Experiment2Config(trials=args.trials, seed=args.seed)
+        if args.events:
+            config = replace(config, events_per_run=args.events)
+        if n == 7:
+            config = replace(config, concurrent_batch=2)
+        fn = {
+            4: experiment2.figure4_data,
+            5: experiment2.figure5_data,
+            6: experiment2.figure6_data,
+            7: experiment2.figure7_data,
+        }[n]
+        return fn(config)
+    if n in (8, 9):
+        config = Experiment3Config(trials=args.trials, seed=args.seed)
+        return (experiment3.figure8_data if n == 8
+                else experiment3.figure9_data)(config)
+    if n == 10:
+        from repro.analysis.voting import figure10_series
+
+        out: Dict[str, Series] = {}
+        for p, curve in sorted(figure10_series().items(), reverse=True):
+            series = Series(label=f"p={p:g}")
+            for percent, value in curve:
+                series.add(percent, [value])
+            out[series.label] = series
+        return out
+    # n == 11
+    from repro.analysis.decay import figure11_series
+
+    out = {}
+    for lam, curve in figure11_series().items():
+        series = Series(label=f"lambda={lam:g}")
+        for k, f in curve:
+            series.add(k, [f])
+        out[series.label] = series
+    return out
+
+
+def _cmd_fig(args: argparse.Namespace) -> int:
+    data = _figure_data(args)
+    x_label = {8: "events", 9: "events", 11: "k"}.get(args.number, "% faulty")
+    print(f"Figure {args.number}")
+    print(render_series_table(data, x_label=x_label))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    n_faulty = round(args.nodes * args.percent_faulty / 100.0)
+    rng = np.random.default_rng(args.seed + 12345)
+    faulty = tuple(
+        int(x) for x in rng.choice(args.nodes, size=n_faulty, replace=False)
+    )
+    field_side = 10.0 * np.sqrt(args.nodes)
+    run = SimulationRun(
+        mode=args.mode,
+        n_nodes=args.nodes,
+        field_side=float(field_side),
+        deployment_kind="grid",
+        sensing_radius=(field_side * 2 if args.mode == "binary" else 20.0),
+        r_error=5.0,
+        lam=args.lam,
+        fault_rate=args.fault_rate,
+        use_trust=not args.baseline,
+        correct_spec=CorrectSpec(
+            sigma=args.sigma_correct if args.mode == "location" else 0.0,
+            miss_rate=0.01 if args.mode == "binary" else 0.0,
+        ),
+        fault_spec=FaultSpec(
+            level=args.level,
+            drop_rate=0.5 if args.mode == "binary" else 0.25,
+            false_alarm_rate=0.1 if args.mode == "binary" else 0.0,
+            sigma=args.sigma_faulty,
+        ),
+        faulty_ids=faulty,
+        channel_loss=0.008 if args.mode == "location" else 0.0,
+        diagnosis_threshold=args.diagnosis_threshold,
+        seed=args.seed,
+    )
+    run.run(args.events)
+    metrics = run.metrics()
+
+    system = "Baseline (majority)" if args.baseline else "TIBFIT"
+    rows = [
+        ("system", system),
+        ("mode", args.mode),
+        ("nodes", str(args.nodes)),
+        ("% faulty", f"{args.percent_faulty:g} (level {args.level})"),
+        ("events", str(metrics.events_total)),
+        ("accuracy", f"{metrics.accuracy:.3f}"),
+    ]
+    if metrics.mean_localisation_error is not None:
+        rows.append(
+            ("mean localisation error",
+             f"{metrics.mean_localisation_error:.3f}")
+        )
+    rows.append(("false positives", str(metrics.false_positive_decisions)))
+    if args.diagnosis_threshold is not None:
+        rows.append(("diagnosed nodes", str(len(metrics.diagnosed_nodes))))
+        rows.append(("diagnosis recall", f"{metrics.diagnosis_recall:.3f}"))
+    print(render_table(["metric", "value"], rows))
+    return 0
+
+
+def _cmd_rotate(args: argparse.Namespace) -> int:
+    from repro.clusterctl.leach import LeachConfig
+    from repro.clusterctl.simulation import RotatingClusterSimulation
+
+    n_faulty = round(args.nodes * args.percent_faulty / 100.0)
+    rng = np.random.default_rng(args.seed + 54321)
+    faulty = tuple(
+        int(x) for x in rng.choice(args.nodes, size=n_faulty, replace=False)
+    )
+    field_side = float(10.0 * np.sqrt(args.nodes))
+    sim = RotatingClusterSimulation(
+        n_nodes=args.nodes,
+        field_side=field_side,
+        sensing_radius=20.0,
+        r_error=5.0,
+        use_trust=not args.baseline,
+        fault_spec=FaultSpec(level=args.level, drop_rate=0.25, sigma=4.25),
+        correct_spec=CorrectSpec(sigma=1.6),
+        faulty_ids=faulty,
+        leach=LeachConfig(ch_fraction=0.05, ti_threshold=0.5),
+        events_per_leadership=args.events_per_round,
+        transfer_trust=not args.no_transfer,
+        seed=args.seed,
+    )
+    sim.run(args.rounds)
+    metrics = sim.metrics()
+    registry = sim.registry_snapshot()
+    faulty_set = set(faulty)
+    honest = [ti for n, ti in registry.items() if n not in faulty_set]
+    lying = [ti for n, ti in registry.items() if n in faulty_set]
+    rows = [
+        ("system", "Baseline" if args.baseline else "TIBFIT"),
+        ("trust hand-off", "off (amnesia)" if args.no_transfer else "on"),
+        ("leadership rounds", str(sim.rotations)),
+        ("distinct leaders", str(len(sim.leadership_counts()))),
+        ("events", str(metrics.events_total)),
+        ("accuracy", f"{metrics.accuracy:.3f}"),
+    ]
+    if honest:
+        rows.append(
+            ("mean honest registry TI",
+             f"{sum(honest) / len(honest):.3f}")
+        )
+    if lying:
+        rows.append(
+            ("mean compromised registry TI",
+             f"{sum(lying) / len(lying):.3f}")
+        )
+    print(render_table(["metric", "value"], rows))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.analysis == "baseline":
+        curve = success_curve(args.n, args.p, args.q)
+        print(render_table(
+            ["faulty nodes (m)", "% faulty", "P(success)"],
+            [(str(m), f"{100 * m / args.n:.0f}%", f"{p:.4f}")
+             for m, p in curve],
+        ))
+        return 0
+    rows = []
+    for lam in args.lambdas:
+        root = solve_k(lam, args.n)
+        rows.append(
+            (f"{lam:g}",
+             "inf" if root == float("inf") else f"{root:.3f}",
+             f"{k_max(lam):.3f}")
+        )
+    print(render_table(
+        ["lambda", "k* (events per tolerable compromise)",
+         "k_max = ln(3)/lambda"],
+        rows,
+    ))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "table": _cmd_table,
+        "fig": _cmd_fig,
+        "run": _cmd_run,
+        "rotate": _cmd_rotate,
+        "analyze": _cmd_analyze,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Cluster control plane: LEACH election, cluster heads, shadows, base station.
+
+§2 adopts "the low energy, adaptive hierarchical clustering protocol
+(LEACH) for cluster formation as well as CH election", extended with a
+trust-index admission threshold that is *not* part of original LEACH.
+§3.4 adds two shadow cluster heads per cluster plus base-station voting
+to mask a single faulty CH.
+
+* :mod:`repro.clusterctl.leach`        -- rotating, energy- and TI-aware
+  cluster-head election and cluster affiliation.
+* :mod:`repro.clusterctl.head`         -- the cluster-head process: report
+  collection windows, decision engines, trust custody, diagnosis.
+* :mod:`repro.clusterctl.shadow`       -- shadow cluster heads mirroring the
+  CH's computation and escalating disagreements.
+* :mod:`repro.clusterctl.base_station` -- the TI registry of record, CH
+  candidacy vetoes, and SCH-dispute resolution.
+"""
+
+from repro.clusterctl.base_station import BaseStation
+from repro.clusterctl.head import ClusterHead, ClusterHeadConfig
+from repro.clusterctl.leach import (
+    EnergyModel,
+    LeachConfig,
+    LeachElection,
+    RoundResult,
+)
+from repro.clusterctl.shadow import ShadowClusterHead
+from repro.clusterctl.simulation import (
+    LeadershipRound,
+    RotatingClusterSimulation,
+)
+
+__all__ = [
+    "LeadershipRound",
+    "RotatingClusterSimulation",
+    "BaseStation",
+    "ClusterHead",
+    "ClusterHeadConfig",
+    "EnergyModel",
+    "LeachConfig",
+    "LeachElection",
+    "RoundResult",
+    "ShadowClusterHead",
+]

@@ -1,0 +1,351 @@
+"""The cluster-head process.
+
+The CH is the data sink of its cluster (§2): it receives event reports,
+collects them over ``T_out`` windows, decides occurrence (and location)
+with CTI voting, updates the trust table, broadcasts its verdicts, runs
+TI-threshold diagnosis, and hands its trust state to the base station
+when its leadership ends.
+
+Two collection modes mirror the paper's two models:
+
+* ``binary``   -- a single window per burst: the first report opens a
+  ``T_out`` timer; at expiry all cluster members are the event
+  neighbours (§3.1 / Experiment 1's "all nodes are considered event
+  neighbors for every randomized event").
+* ``location`` -- reports are routed through the concurrent-event
+  circle tracker (§3.3) and each closed circle group is clustered and
+  voted by the location engine (§3.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.baseline import MajorityVoter
+from repro.core.binary import CtiVoter
+from repro.core.concurrent import CircleTracker
+from repro.core.diagnosis import FaultDiagnoser
+from repro.core.location import (
+    LocatedDecision,
+    LocationDecisionEngine,
+    LocationReport,
+)
+from repro.core.trust import TrustParameters, TrustTable
+from repro.network.geometry import Point
+from repro.network.messages import (
+    ChDecisionAnnouncement,
+    EventReportMessage,
+    Message,
+    TiTableTransfer,
+)
+from repro.network.node import NetworkNode
+from repro.network.topology import Deployment
+
+
+@dataclass(frozen=True)
+class ClusterHeadConfig:
+    """Behavioural knobs of a cluster head.
+
+    Attributes
+    ----------
+    mode:
+        ``"binary"`` or ``"location"``.
+    t_out:
+        Report collection window.
+    sensing_radius:
+        ``r_s`` for event-neighbour determination.
+    r_error:
+        Localisation bound (location mode only).
+    trust:
+        TI update parameters; ignored when ``use_trust`` is False.
+    use_trust:
+        True = TIBFIT (CTI voting), False = stateless majority baseline.
+    diagnosis_threshold:
+        Isolate nodes whose TI sinks below this; ``None`` disables
+        diagnosis (the baseline has no trust to diagnose with).
+    tie_breaks_to_occurred:
+        Verdict on exact CTI / head-count ties.
+    announce:
+        Broadcast :class:`ChDecisionAnnouncement` after each verdict
+        (needed by shadow CHs and by smart adversaries' TI tracking).
+    """
+
+    mode: str = "location"
+    t_out: float = 1.0
+    sensing_radius: float = 20.0
+    r_error: float = 5.0
+    trust: TrustParameters = field(default_factory=TrustParameters)
+    use_trust: bool = True
+    diagnosis_threshold: Optional[float] = None
+    tie_breaks_to_occurred: bool = False
+    announce: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("binary", "location"):
+            raise ValueError(f"mode must be 'binary' or 'location', got {self.mode!r}")
+        if self.t_out <= 0:
+            raise ValueError(f"t_out must be positive, got {self.t_out}")
+
+
+#: Global decision-id source: ids stay unique across every cluster head
+#: in a process, so multi-cluster scoring can key on them safely.
+_decision_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One CH verdict with everything the metrics layer needs."""
+
+    decision_id: int
+    time: float
+    occurred: bool
+    location: Optional[Point]
+    supporters: Tuple[int, ...]
+    dissenters: Tuple[int, ...]
+
+
+class ClusterHead(NetworkNode):
+    """The active cluster head of one cluster.
+
+    Parameters
+    ----------
+    node_id / position:
+        Network identity (a CH is itself a sensor node, §2).
+    deployment:
+        Positions of the cluster's nodes ("the node that is chosen to be
+        the CH knows the topology of the cluster", §2).
+    config:
+        See :class:`ClusterHeadConfig`.
+    base_station_id:
+        Destination for TI hand-off; ``None`` when running standalone.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        position: Point,
+        deployment: Deployment,
+        config: ClusterHeadConfig,
+        base_station_id: Optional[int] = None,
+        cluster_id: int = 0,
+    ) -> None:
+        super().__init__(node_id, position)
+        self.deployment = deployment
+        self.config = config
+        self.base_station_id = base_station_id
+        self.cluster_id = cluster_id
+
+        self.trust = TrustTable(config.trust, deployment.node_ids())
+        if config.use_trust:
+            self.voter: Union[CtiVoter, MajorityVoter] = CtiVoter(
+                self.trust,
+                tie_breaks_to_occurred=config.tie_breaks_to_occurred,
+            )
+        else:
+            self.voter = MajorityVoter(
+                tie_breaks_to_occurred=config.tie_breaks_to_occurred
+            )
+
+        self.diagnoser: Optional[FaultDiagnoser] = None
+        if config.use_trust and config.diagnosis_threshold is not None:
+            self.diagnoser = FaultDiagnoser(
+                self.trust, config.diagnosis_threshold, isolate=True
+            )
+
+        self.members: Tuple[int, ...] = deployment.node_ids()
+        self.decisions: List[DecisionRecord] = []
+        self._tracker: Optional[CircleTracker] = None
+        self._engine: Optional[LocationDecisionEngine] = None
+        self._binary_window: List[EventReportMessage] = []
+        self._binary_window_open = False
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, sim, channel) -> None:  # noqa: D102 - see base class
+        super().attach(sim, channel)
+        if self.config.mode == "location":
+            self._engine = LocationDecisionEngine(
+                deployment=self.deployment,
+                sensing_radius=self.config.sensing_radius,
+                r_error=self.config.r_error,
+                voter=self.voter,
+            )
+            self._tracker = CircleTracker(
+                sim,
+                r_error=self.config.r_error,
+                t_out=self.config.t_out,
+                on_group=self._decide_group,
+            )
+
+    def set_members(self, members: Sequence[int]) -> None:
+        """Restrict the cluster membership (multi-cluster deployments)."""
+        self.members = tuple(sorted(members))
+
+    # ------------------------------------------------------------------
+    # Inbound traffic
+    # ------------------------------------------------------------------
+    def on_message(self, message: Message) -> None:
+        if isinstance(message, EventReportMessage):
+            self._on_report(message)
+        elif isinstance(message, TiTableTransfer):
+            # Incoming TI state from the base station for a fresh CH.
+            self.trust.import_state(message.table)
+
+    def _on_report(self, message: EventReportMessage) -> None:
+        if self._excluded(message.sender):
+            return
+        if self.config.mode == "binary":
+            self._on_binary_report(message)
+        else:
+            self._on_location_report(message)
+
+    def _on_binary_report(self, message: EventReportMessage) -> None:
+        if not self._binary_window_open:
+            self._binary_window_open = True
+            self._binary_window = []
+            self.sim.after(
+                self.config.t_out,
+                self._decide_binary,
+                label="binary-t_out",
+            )
+        self._binary_window.append(message)
+
+    def _on_location_report(self, message: EventReportMessage) -> None:
+        if message.offset is None:
+            # A location-mode CH cannot place a binary report; drop it
+            # (and trace, because it usually indicates a faulty sender).
+            self.sim.trace.emit(
+                self.sim.now,
+                "ch.report.unplaceable",
+                sender=message.sender,
+            )
+            return
+        try:
+            node_position = self.deployment.position_of(message.sender)
+        except KeyError:
+            self.sim.trace.emit(
+                self.sim.now, "ch.report.unknown-node", sender=message.sender
+            )
+            return
+        location = message.resolve_location(node_position)
+        assert self._tracker is not None  # set in attach()
+        self._tracker.on_report(
+            LocationReport(
+                node_id=message.sender, location=location, time=self.sim.now
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def _decide_binary(self) -> None:
+        reports = self._binary_window
+        self._binary_window = []
+        self._binary_window_open = False
+
+        excluded = set(self._excluded_set())
+        reporters = sorted(
+            {m.sender for m in reports}
+            - excluded
+        )
+        neighbors = [m for m in self.members if m not in excluded
+                     and m != self.node_id]
+        non_reporters = [m for m in neighbors if m not in reporters]
+        vote = self.voter.decide(reporters, non_reporters)
+        self._record_decision(vote.occurred, None, tuple(reporters),
+                              tuple(non_reporters))
+
+    def _decide_group(self, reports: List[LocationReport]) -> None:
+        assert self._engine is not None
+        decisions = self._engine.decide(
+            reports, excluded_nodes=self._excluded_set()
+        )
+        for decision in decisions:
+            self._record_decision(
+                decision.occurred,
+                decision.location,
+                decision.supporters,
+                decision.dissenters,
+            )
+
+    def _record_decision(
+        self,
+        occurred: bool,
+        location: Optional[Point],
+        supporters: Tuple[int, ...],
+        dissenters: Tuple[int, ...],
+    ) -> None:
+        record = DecisionRecord(
+            decision_id=next(_decision_ids),
+            time=self.sim.now,
+            occurred=occurred,
+            location=location,
+            supporters=supporters,
+            dissenters=dissenters,
+        )
+        self.decisions.append(record)
+        self.sim.trace.emit(
+            self.sim.now,
+            "ch.decision",
+            decision_id=record.decision_id,
+            occurred=occurred,
+            supporters=len(supporters),
+            dissenters=len(dissenters),
+        )
+        if self.diagnoser is not None:
+            for entry in self.diagnoser.sweep(self.sim.now):
+                self.sim.trace.emit(
+                    self.sim.now,
+                    "ch.diagnosis",
+                    node=entry.node_id,
+                    ti=entry.ti_at_diagnosis,
+                )
+        if self.config.announce:
+            self.broadcast(
+                ChDecisionAnnouncement(
+                    sender=self.node_id,
+                    decision_id=record.decision_id,
+                    occurred=occurred,
+                    location=location,
+                    reporters=supporters,
+                    non_reporters=dissenters,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Leadership hand-off
+    # ------------------------------------------------------------------
+    def end_leadership(self, round_number: int = 0) -> None:
+        """Ship the aggregate TI table to the base station (§2)."""
+        if self.base_station_id is None:
+            return
+        self.send(
+            self.base_station_id,
+            TiTableTransfer(
+                sender=self.node_id,
+                table=self.trust.export_state(),
+                cluster_id=self.cluster_id,
+                round_number=round_number,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _excluded_set(self) -> Tuple[int, ...]:
+        if self.diagnoser is None:
+            return ()
+        return self.diagnoser.excluded_nodes()
+
+    def _excluded(self, node_id: int) -> bool:
+        return node_id in self._excluded_set()
+
+    def flush(self) -> None:
+        """Close any open collection windows immediately (end of run)."""
+        if self._tracker is not None:
+            self._tracker.flush()
+        if self._binary_window_open:
+            self._decide_binary()

@@ -1,0 +1,81 @@
+"""The stateless majority-voting baseline.
+
+Every experiment in the paper compares TIBFIT against "the baseline
+system, which uses majority voting to make event decisions" (§4).  The
+baseline treats every event neighbour's voice as weight 1 regardless of
+history, so it collapses as soon as faulty nodes are a majority of the
+event neighbourhood -- exactly the behaviour quantified analytically in
+§5 (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+
+@dataclass(frozen=True)
+class MajorityVoteResult:
+    """Outcome of one unweighted majority vote."""
+
+    occurred: bool
+    reporters: Tuple[int, ...]
+    non_reporters: Tuple[int, ...]
+    tie: bool
+
+    @property
+    def margin(self) -> int:
+        """Winning head-count minus losing head-count (0 on a tie)."""
+        return abs(len(self.reporters) - len(self.non_reporters))
+
+
+class MajorityVoter:
+    """Stateless head-count voting over reporters vs. non-reporters.
+
+    API-compatible with :class:`repro.core.binary.CtiVoter` so the
+    experiment harness can swap engines with one flag; the
+    ``apply_updates`` argument is accepted and ignored because the
+    baseline keeps no state to update.
+
+    Parameters
+    ----------
+    tie_breaks_to_occurred:
+        Verdict on an exact tie; kept identical to the CTI voter's
+        default (False -- the §5 analysis needs a strict majority) so
+        comparisons isolate the trust mechanism itself.
+    """
+
+    def __init__(self, tie_breaks_to_occurred: bool = False) -> None:
+        self.tie_breaks_to_occurred = tie_breaks_to_occurred
+        self.votes_taken = 0
+
+    def decide(
+        self,
+        reporters: Iterable[int],
+        non_reporters: Iterable[int],
+        apply_updates: bool = True,  # noqa: ARG002 - interface parity
+    ) -> MajorityVoteResult:
+        """Run one unweighted vote over an ``R`` / ``NR`` partition."""
+        r = tuple(sorted(set(reporters)))
+        nr = tuple(sorted(set(non_reporters)))
+        overlap = set(r) & set(nr)
+        if overlap:
+            raise ValueError(
+                f"nodes {sorted(overlap)} appear as both reporter and "
+                "non-reporter"
+            )
+        tie = len(r) == len(nr)
+        if tie:
+            occurred = self.tie_breaks_to_occurred
+        else:
+            occurred = len(r) > len(nr)
+        self.votes_taken += 1
+        return MajorityVoteResult(
+            occurred=occurred, reporters=r, non_reporters=nr, tie=tie
+        )
+
+    def preview(
+        self, reporters: Iterable[int], non_reporters: Iterable[int]
+    ) -> bool:
+        """The verdict (stateless, so identical to :meth:`decide`)."""
+        return self.decide(reporters, non_reporters).occurred

@@ -1,0 +1,143 @@
+"""Cumulative-TI voting for binary events (§3.1).
+
+After the report-collection window ``T_out`` closes, the cluster head
+partitions the event neighbours into the reporters ``R`` and the
+non-reporters ``NR``, sums each group's trust indices, and lets the
+group with the larger cumulative trust index (CTI) win.  Trust of the
+winners is raised, trust of the losers lowered, providing detection,
+diagnosis, and masking in one step.  A small group of reliable nodes can
+outvote a larger group of distrusted ones -- this is the mechanism that
+lets TIBFIT survive a compromised *majority* once enough state exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+from repro.core.trust import TrustTable
+
+
+@dataclass(frozen=True)
+class BinaryVoteResult:
+    """Outcome of one CTI vote.
+
+    Attributes
+    ----------
+    occurred:
+        The CH's verdict: did the event happen?
+    reporters / non_reporters:
+        The two partitions as sorted tuples.
+    cti_reporters / cti_non_reporters:
+        Each group's cumulative TI *before* updates were applied.
+    tie:
+        True when both CTIs were exactly equal (verdict then follows the
+        tie-break rule; see :class:`CtiVoter`).
+    rewarded / penalized:
+        Node ids whose trust moved up / down as a consequence.
+    """
+
+    occurred: bool
+    reporters: Tuple[int, ...]
+    non_reporters: Tuple[int, ...]
+    cti_reporters: float
+    cti_non_reporters: float
+    tie: bool
+    rewarded: Tuple[int, ...]
+    penalized: Tuple[int, ...]
+
+    @property
+    def margin(self) -> float:
+        """Winning CTI minus losing CTI (0 on a tie)."""
+        return abs(self.cti_reporters - self.cti_non_reporters)
+
+
+class CtiVoter:
+    """Stateful CTI voting engine bound to a :class:`TrustTable`.
+
+    Parameters
+    ----------
+    trust:
+        The trust table to read and (optionally) update.
+    tie_breaks_to_occurred:
+        §3.1 does not define the exact-tie case, but the §5 analysis
+        requires a *strict* majority (``Z >= floor(N/2) + 1``), so the
+        default (False) makes an exact tie fail -- no event.  Flip to
+        study the other convention (cheaper false positives).
+    """
+
+    def __init__(
+        self, trust: TrustTable, tie_breaks_to_occurred: bool = False
+    ) -> None:
+        self.trust = trust
+        self.tie_breaks_to_occurred = tie_breaks_to_occurred
+        self.votes_taken = 0
+
+    def decide(
+        self,
+        reporters: Iterable[int],
+        non_reporters: Iterable[int],
+        apply_updates: bool = True,
+    ) -> BinaryVoteResult:
+        """Run one CTI vote over an ``R`` / ``NR`` partition.
+
+        Parameters
+        ----------
+        reporters:
+            Event neighbours that reported the event within ``T_out``.
+        non_reporters:
+            Event neighbours that stayed silent.
+        apply_updates:
+            When False the vote is advisory -- trust is read but not
+            written.  Shadow cluster heads use their own cloned tables,
+            but read-only votes are also useful for what-if analysis.
+
+        Raises
+        ------
+        ValueError
+            If the two groups overlap (a node cannot be both).
+        """
+        r = tuple(sorted(set(reporters)))
+        nr = tuple(sorted(set(non_reporters)))
+        overlap = set(r) & set(nr)
+        if overlap:
+            raise ValueError(
+                f"nodes {sorted(overlap)} appear as both reporter and "
+                "non-reporter"
+            )
+
+        cti_r = self.trust.cti(r)
+        cti_nr = self.trust.cti(nr)
+        tie = cti_r == cti_nr
+        if tie:
+            occurred = self.tie_breaks_to_occurred
+        else:
+            occurred = cti_r > cti_nr
+
+        winners = r if occurred else nr
+        losers = nr if occurred else r
+        if apply_updates:
+            for node_id in winners:
+                self.trust.reward(node_id)
+            for node_id in losers:
+                self.trust.penalize(node_id)
+
+        self.votes_taken += 1
+        return BinaryVoteResult(
+            occurred=occurred,
+            reporters=r,
+            non_reporters=nr,
+            cti_reporters=cti_r,
+            cti_non_reporters=cti_nr,
+            tie=tie,
+            rewarded=winners,
+            penalized=losers,
+        )
+
+    def preview(self, reporters: Iterable[int], non_reporters: Iterable[int]) -> bool:
+        """What the verdict *would* be, with no trust mutation."""
+        return self.decide(reporters, non_reporters, apply_updates=False).occurred
+
+    def trust_snapshot(self) -> Dict[int, float]:
+        """Convenience passthrough of the current TI map."""
+        return self.trust.tis()

@@ -1,0 +1,195 @@
+"""Event-report clustering heuristic (§3.2, steps 1-5).
+
+After ``T_out`` elapses, the cluster head groups the collected location
+reports into *event clusters* of radius ``r_error`` -- each a candidate
+event location.  The heuristic is K-means-like but chooses its own K:
+
+1. compute and sort all pairwise distances between reports;
+2. seed two clusters at the farthest pair of reports;
+3. any report farther than ``r_error`` from every existing centre seeds
+   a new cluster, until all remaining reports are within ``r_error`` of
+   some centre;
+4. assign every remaining report to its nearest centre and update each
+   cluster's centre of gravity;
+5. if two or more centres fall within ``r_error`` of one another, merge
+   them at the weighted average of the centres and repeat the rounds
+   until no membership changes.
+
+Reports whose location is off by more than ``r_error`` end up in their
+own (small) clusters and are naturally out-voted -- "this design
+successfully throws out event reports from nodes that make a
+localization error of more than r_error" (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.network.geometry import (
+    Point,
+    centroid,
+    farthest_pair,
+    weighted_centroid,
+)
+
+_MAX_ROUNDS = 100
+
+
+@dataclass(frozen=True)
+class ReportCluster:
+    """One event cluster: member report indices and the centre of gravity.
+
+    ``indices`` refer to positions in the report sequence passed to
+    :func:`cluster_reports`, so callers can map members back to the
+    original reports (and thus reporting nodes).
+    """
+
+    indices: Tuple[int, ...]
+    center: Point
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+def cluster_reports(
+    locations: Sequence[Point], r_error: float
+) -> List[ReportCluster]:
+    """Group report locations into event clusters of radius ``r_error``.
+
+    Parameters
+    ----------
+    locations:
+        Absolute event locations implied by the reports (the CH resolves
+        each node's ``(r, theta)`` offset before calling this).
+    r_error:
+        The application's localisation error bound.
+
+    Returns
+    -------
+    list of :class:`ReportCluster`
+        Clusters sorted by descending size then ascending first index,
+        so the dominant candidate event comes first.
+    """
+    if r_error <= 0:
+        raise ValueError(f"r_error must be positive, got {r_error}")
+    n = len(locations)
+    if n == 0:
+        return []
+    if n == 1:
+        return [ReportCluster(indices=(0,), center=locations[0])]
+
+    centers = _seed_centers(locations, r_error)
+    assignment: List[int] = []
+    for _ in range(_MAX_ROUNDS):
+        new_assignment = _assign(locations, centers)
+        centers = _recenter(locations, new_assignment, len(centers))
+        centers, new_assignment = _merge_close_centers(
+            locations, centers, r_error
+        )
+        if new_assignment == assignment:
+            break
+        assignment = new_assignment
+
+    return _build_clusters(locations, assignment)
+
+
+def _seed_centers(locations: Sequence[Point], r_error: float) -> List[Point]:
+    """Steps 1-3: farthest pair seeds, then greedy coverage seeds."""
+    i, j = farthest_pair(locations)
+    centers = [locations[i], locations[j]]
+    for k, loc in enumerate(locations):
+        if k in (i, j):
+            continue
+        if all(loc.distance_to(c) > r_error for c in centers):
+            centers.append(loc)
+    return centers
+
+
+def _assign(locations: Sequence[Point], centers: Sequence[Point]) -> List[int]:
+    """Step 4: nearest-centre assignment (ties to the lower centre index)."""
+    assignment = []
+    for loc in locations:
+        best_idx = 0
+        best_d = loc.distance_to(centers[0])
+        for idx in range(1, len(centers)):
+            d = loc.distance_to(centers[idx])
+            if d < best_d:
+                best_d = d
+                best_idx = idx
+        assignment.append(best_idx)
+    return assignment
+
+
+def _recenter(
+    locations: Sequence[Point], assignment: Sequence[int], k: int
+) -> List[Point]:
+    """Update each cluster's centre of gravity; empty clusters vanish.
+
+    Returns the new centre list; assignment indices are remapped by the
+    caller via :func:`_merge_close_centers`'s reassignment round, so here
+    empty clusters simply keep their old slot out of the output and the
+    subsequent assign round renumbers implicitly.
+    """
+    members: List[List[Point]] = [[] for _ in range(k)]
+    for loc, cluster_idx in zip(locations, assignment):
+        members[cluster_idx].append(loc)
+    return [centroid(group) for group in members if group]
+
+
+def _merge_close_centers(
+    locations: Sequence[Point],
+    centers: List[Point],
+    r_error: float,
+) -> Tuple[List[Point], List[int]]:
+    """Step 5: merge centres within ``r_error`` at their weighted average.
+
+    An assignment round is run against the incoming centres first so the
+    member counts used as merge weights are aligned with the (possibly
+    just recentred) centre list.
+    """
+    assignment = _assign(locations, centers)
+    counts = [0] * len(centers)
+    for cluster_idx in assignment:
+        counts[cluster_idx] += 1
+
+    merged = True
+    while merged and len(centers) > 1:
+        merged = False
+        for a in range(len(centers)):
+            for b in range(a + 1, len(centers)):
+                if centers[a].distance_to(centers[b]) <= r_error:
+                    weight_a = max(counts[a], 1)
+                    weight_b = max(counts[b], 1)
+                    new_center = weighted_centroid(
+                        [centers[a], centers[b]], [weight_a, weight_b]
+                    )
+                    centers = [
+                        c for idx, c in enumerate(centers) if idx not in (a, b)
+                    ] + [new_center]
+                    counts = [
+                        n for idx, n in enumerate(counts) if idx not in (a, b)
+                    ] + [weight_a + weight_b]
+                    merged = True
+                    break
+            if merged:
+                break
+
+    assignment = _assign(locations, centers)
+    return centers, assignment
+
+
+def _build_clusters(
+    locations: Sequence[Point], assignment: Sequence[int]
+) -> List[ReportCluster]:
+    groups: dict[int, List[int]] = {}
+    for report_idx, cluster_idx in enumerate(assignment):
+        groups.setdefault(cluster_idx, []).append(report_idx)
+    clusters = []
+    for indices in groups.values():
+        pts = [locations[i] for i in indices]
+        clusters.append(
+            ReportCluster(indices=tuple(indices), center=centroid(pts))
+        )
+    clusters.sort(key=lambda c: (-len(c.indices), c.indices[0]))
+    return clusters

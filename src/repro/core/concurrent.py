@@ -1,0 +1,194 @@
+"""Concurrent-event separation via ``r_error`` circles (§3.3).
+
+Multiple events may occur within one ``T_out`` of each other (though
+never closer together than ``r_error``).  The cluster head therefore
+cannot use a single global collection window.  Instead:
+
+1. the first report opens a symbolic circle of radius ``r_error``
+   around its location and starts that circle's own ``T_out`` timer;
+2. a subsequent report landing inside an existing circle joins it;
+   one landing outside every circle opens a new circle (and timer);
+3. when a circle's timer expires, its reports are clustered and voted --
+   *unless* the circle overlaps others, in which case processing waits
+   until every circle in the overlapping group has timed out and the
+   union of their reports is clustered together.
+
+Two circles overlap when their centres are closer than ``2 * r_error``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.location import LocationReport
+from repro.network.geometry import Point
+from repro.simkernel.simulator import Simulator
+
+_circle_ids = itertools.count(1)
+
+
+@dataclass
+class EventCircle:
+    """One open collection circle.
+
+    Attributes
+    ----------
+    circle_id:
+        Unique id for tracing.
+    center:
+        The first report's location -- fixed for the circle's lifetime.
+    expires_at:
+        Absolute simulation time of this circle's ``T_out`` expiry.
+    reports:
+        Reports collected so far, in arrival order.
+    """
+
+    center: Point
+    expires_at: float
+    circle_id: int = field(default_factory=lambda: next(_circle_ids))
+    reports: List[LocationReport] = field(default_factory=list)
+    closed: bool = False
+
+    def contains(self, location: Point, r_error: float) -> bool:
+        """Whether ``location`` falls inside this circle."""
+        return self.center.distance_to(location) <= r_error
+
+    def overlaps(self, other: "EventCircle", r_error: float) -> bool:
+        """Whether two circles of radius ``r_error`` intersect."""
+        return self.center.distance_to(other.center) < 2.0 * r_error
+
+
+class CircleTracker:
+    """Manages open circles and fires a callback per closed circle group.
+
+    Parameters
+    ----------
+    sim:
+        Simulator used for per-circle timers.
+    r_error:
+        Circle radius.
+    t_out:
+        Per-circle collection window ``T_out``.
+    on_group:
+        Called as ``on_group(reports)`` with the merged report list of
+        each fully expired overlapping circle group.  The caller then
+        clusters and votes (see
+        :class:`repro.core.location.LocationDecisionEngine`).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        r_error: float,
+        t_out: float,
+        on_group: Callable[[List[LocationReport]], None],
+    ) -> None:
+        if r_error <= 0:
+            raise ValueError(f"r_error must be positive, got {r_error}")
+        if t_out <= 0:
+            raise ValueError(f"t_out must be positive, got {t_out}")
+        self._sim = sim
+        self.r_error = r_error
+        self.t_out = t_out
+        self._on_group = on_group
+        self._circles: Dict[int, EventCircle] = {}
+        self.circles_opened = 0
+        self.groups_closed = 0
+
+    # ------------------------------------------------------------------
+    # Input
+    # ------------------------------------------------------------------
+    def on_report(self, report: LocationReport) -> EventCircle:
+        """Route one arriving report to its circle (opening one if needed)."""
+        for circle in self._circles.values():
+            if not circle.closed and circle.contains(
+                report.location, self.r_error
+            ):
+                circle.reports.append(report)
+                return circle
+        return self._open_circle(report)
+
+    def open_circles(self) -> List[EventCircle]:
+        """Currently open circles (stable order by id)."""
+        return [
+            c for _cid, c in sorted(self._circles.items()) if not c.closed
+        ]
+
+    def flush(self) -> None:
+        """Force-close every open circle immediately (end of simulation)."""
+        for circle in list(self._circles.values()):
+            if not circle.closed:
+                circle.expires_at = self._sim.now
+        # Groups are recomputed from scratch; every circle is now expired.
+        while self._circles:
+            any_id = next(iter(sorted(self._circles)))
+            self._close_group(self._circles[any_id])
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _open_circle(self, report: LocationReport) -> EventCircle:
+        circle = EventCircle(
+            center=report.location,
+            expires_at=self._sim.now + self.t_out,
+        )
+        circle.reports.append(report)
+        self._circles[circle.circle_id] = circle
+        self.circles_opened += 1
+        self._sim.at(
+            circle.expires_at,
+            self._on_expiry,
+            circle.circle_id,
+            label=f"circle-{circle.circle_id}-timeout",
+        )
+        self._sim.trace.emit(
+            self._sim.now,
+            "concurrent.open",
+            circle=circle.circle_id,
+            x=report.location.x,
+            y=report.location.y,
+        )
+        return circle
+
+    def _on_expiry(self, circle_id: int) -> None:
+        circle = self._circles.get(circle_id)
+        if circle is None or circle.closed:
+            return
+        group = self._overlap_component(circle)
+        # §3.3 step 4: wait until every overlapping circle has expired.
+        if any(c.expires_at > self._sim.now for c in group):
+            return
+        self._close_group(circle)
+
+    def _overlap_component(self, seed: EventCircle) -> List[EventCircle]:
+        """Transitive closure of circle overlap containing ``seed``."""
+        component = {seed.circle_id: seed}
+        frontier = [seed]
+        while frontier:
+            current = frontier.pop()
+            for other in self._circles.values():
+                if other.circle_id in component or other.closed:
+                    continue
+                if current.overlaps(other, self.r_error):
+                    component[other.circle_id] = other
+                    frontier.append(other)
+        return [component[cid] for cid in sorted(component)]
+
+    def _close_group(self, seed: EventCircle) -> None:
+        group = self._overlap_component(seed)
+        merged: List[LocationReport] = []
+        for circle in group:
+            circle.closed = True
+            merged.extend(circle.reports)
+            del self._circles[circle.circle_id]
+        merged.sort(key=lambda r: (r.time, r.node_id))
+        self.groups_closed += 1
+        self._sim.trace.emit(
+            self._sim.now,
+            "concurrent.close",
+            circles=[c.circle_id for c in group],
+            reports=len(merged),
+        )
+        self._on_group(merged)

@@ -1,0 +1,116 @@
+"""Diagnosis and isolation of faulty nodes.
+
+§3.1: "After time, the system can identify a faulty node when its TI
+falls below a certain threshold.  It can then be removed from the
+network."  :class:`FaultDiagnoser` watches a trust table, records
+threshold crossings, and (optionally) drives isolation -- removing the
+node from voting and, in the full simulation, from the radio channel --
+"thus eliminating them from causing future damage" (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.trust import TrustTable
+
+
+@dataclass(frozen=True)
+class DiagnosisEntry:
+    """One diagnosis event: a node's TI crossed the isolation threshold."""
+
+    node_id: int
+    time: float
+    ti_at_diagnosis: float
+    isolated: bool
+
+
+class FaultDiagnoser:
+    """TI-threshold fault diagnosis with optional isolation.
+
+    Parameters
+    ----------
+    trust:
+        The trust table to monitor.
+    ti_threshold:
+        Nodes whose TI drops strictly below this value are diagnosed.
+    isolate:
+        When True, diagnosed nodes join the excluded set consumed by the
+        decision engines (and the ``on_isolate`` hook fires, letting the
+        harness unregister the node from the channel).
+    on_isolate:
+        Optional callback ``on_isolate(node_id)``.
+    """
+
+    def __init__(
+        self,
+        trust: TrustTable,
+        ti_threshold: float,
+        isolate: bool = True,
+        on_isolate: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if not 0.0 <= ti_threshold < 1.0:
+            raise ValueError(
+                f"ti_threshold must be in [0, 1), got {ti_threshold}"
+            )
+        self.trust = trust
+        self.ti_threshold = ti_threshold
+        self.isolate = isolate
+        self._on_isolate = on_isolate
+        self._diagnosed: Set[int] = set()
+        self.log: List[DiagnosisEntry] = []
+
+    @property
+    def diagnosed(self) -> Tuple[int, ...]:
+        """Node ids diagnosed so far, sorted."""
+        return tuple(sorted(self._diagnosed))
+
+    @property
+    def isolated(self) -> Tuple[int, ...]:
+        """Node ids actually isolated (empty when ``isolate`` is False)."""
+        if not self.isolate:
+            return ()
+        return self.diagnosed
+
+    def excluded_nodes(self) -> Tuple[int, ...]:
+        """The exclusion set decision engines should honour."""
+        return self.isolated
+
+    def sweep(self, now: float = 0.0) -> List[DiagnosisEntry]:
+        """Check every tracked node once; returns *new* diagnoses only.
+
+        Call after each decision round -- diagnosis is event-driven in
+        the protocol, so sweeping per round matches the paper's "after
+        time, the system can identify a faulty node".
+        """
+        fresh: List[DiagnosisEntry] = []
+        for node_id in self.trust.below_threshold(self.ti_threshold):
+            if node_id in self._diagnosed:
+                continue
+            self._diagnosed.add(node_id)
+            entry = DiagnosisEntry(
+                node_id=node_id,
+                time=now,
+                ti_at_diagnosis=self.trust.ti(node_id),
+                isolated=self.isolate,
+            )
+            self.log.append(entry)
+            fresh.append(entry)
+            if self.isolate and self._on_isolate is not None:
+                self._on_isolate(node_id)
+        return fresh
+
+    def pardon(self, node_id: int) -> None:
+        """Remove a node from the diagnosed set (limited recovery, §1)."""
+        self._diagnosed.discard(node_id)
+
+    def false_positive_count(self, truly_faulty: Set[int]) -> int:
+        """Diagnosed nodes that are not in the given ground-truth set."""
+        return len(self._diagnosed - truly_faulty)
+
+    def recall(self, truly_faulty: Set[int]) -> float:
+        """Fraction of ground-truth faulty nodes diagnosed (1.0 when none)."""
+        if not truly_faulty:
+            return 1.0
+        return len(self._diagnosed & truly_faulty) / len(truly_faulty)

@@ -1,0 +1,218 @@
+"""The trust-index (TI) model of §3.
+
+Each node is assigned a trust index maintained at the cluster head.  The
+CH keeps, per node, a fault accumulator ``v`` (non-negative real):
+
+* a report the CH deems **faulty** increments ``v`` by ``1 - f_r``;
+* a report the CH deems **correct** decrements ``v`` by ``f_r``, floored
+  at zero;
+
+and the trust index is the derived quantity ``TI = exp(-lambda * v)``,
+so a fresh node starts at ``TI = 1`` and trust decays *exponentially*
+with accumulated misbehaviour.  ``f_r`` is the *fault rate* the system
+charges against -- the expected natural error rate of a correct node --
+so a node erring exactly at rate ``f_r`` has ``E[delta v] = 0`` and its
+TI performs a random walk around its current value, while a node erring
+more often drifts down and one erring less often recovers toward 1.
+
+``lambda`` controls how sharply trust decays; the paper uses 0.1 for the
+binary experiments (Table 1) and 0.25 for the location experiments
+(Table 2), and §5 analyses its effect on how fast compromised nodes can
+be absorbed (Fig. 11).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TrustParameters:
+    """Parameters of the TI update rule.
+
+    Attributes
+    ----------
+    lam:
+        The exponential decay constant ``lambda`` (> 0).
+    fault_rate:
+        ``f_r``, the tolerated natural error rate (in ``[0, 1)``).  Note
+        Table 2 deliberately sets ``f_r = 0.1`` above the correct nodes'
+        NER "to compensate for wireless channel model losses".
+    """
+
+    lam: float = 0.25
+    fault_rate: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.lam <= 0:
+            raise ValueError(f"lambda must be positive, got {self.lam}")
+        if not 0.0 <= self.fault_rate < 1.0:
+            raise ValueError(
+                f"fault_rate must be in [0, 1), got {self.fault_rate}"
+            )
+
+    @property
+    def penalty_step(self) -> float:
+        """Increment applied to ``v`` for a faulty report: ``1 - f_r``."""
+        return 1.0 - self.fault_rate
+
+    @property
+    def reward_step(self) -> float:
+        """Decrement applied to ``v`` for a correct report: ``f_r``."""
+        return self.fault_rate
+
+    def ti_of(self, v: float) -> float:
+        """Trust index corresponding to an accumulator value ``v``."""
+        return math.exp(-self.lam * v)
+
+    def v_of(self, ti: float) -> float:
+        """Accumulator value corresponding to a trust index (inverse map)."""
+        if not 0.0 < ti <= 1.0:
+            raise ValueError(f"ti must be in (0, 1], got {ti}")
+        return -math.log(ti) / self.lam
+
+
+@dataclass
+class TrustEntry:
+    """Per-node trust state held at the cluster head.
+
+    Only ``v`` is primary state; the TI is derived on demand.
+    """
+
+    v: float = 0.0
+    correct_reports: int = 0
+    faulty_reports: int = 0
+
+    def __post_init__(self) -> None:
+        if self.v < 0:
+            raise ValueError(f"v must be non-negative, got {self.v}")
+
+
+class TrustTable:
+    """The cluster head's table of trust entries for its member nodes.
+
+    The table is the unit of state handed between cluster-head
+    generations via the base station (§2): serialising ``{node: v}``
+    preserves everything, because TI is derived.
+
+    Parameters
+    ----------
+    params:
+        TI update-rule parameters.
+    node_ids:
+        Nodes to pre-register at full trust (``v = 0``).  Unknown nodes
+        are also auto-registered on first touch.
+    """
+
+    def __init__(
+        self,
+        params: TrustParameters,
+        node_ids: Iterable[int] = (),
+    ) -> None:
+        self.params = params
+        self._entries: Dict[int, TrustEntry] = {
+            node_id: TrustEntry() for node_id in node_ids
+        }
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self._entries))
+
+    def entry(self, node_id: int) -> TrustEntry:
+        """The (auto-created) entry for ``node_id``."""
+        found = self._entries.get(node_id)
+        if found is None:
+            found = TrustEntry()
+            self._entries[node_id] = found
+        return found
+
+    def ti(self, node_id: int) -> float:
+        """Trust index of ``node_id`` (1.0 for never-seen nodes)."""
+        found = self._entries.get(node_id)
+        if found is None:
+            return 1.0
+        return self.params.ti_of(found.v)
+
+    def cti(self, node_ids: Iterable[int]) -> float:
+        """Cumulative trust index of a group (§3.1)."""
+        return sum(self.ti(node_id) for node_id in node_ids)
+
+    def tis(self) -> Dict[int, float]:
+        """Snapshot mapping of node id to current TI."""
+        return {node_id: self.ti(node_id) for node_id in self._entries}
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def penalize(self, node_id: int) -> float:
+        """Charge one faulty report: ``v += 1 - f_r``.  Returns new TI."""
+        entry = self.entry(node_id)
+        entry.v += self.params.penalty_step
+        entry.faulty_reports += 1
+        return self.params.ti_of(entry.v)
+
+    def reward(self, node_id: int) -> float:
+        """Credit one correct report: ``v = max(0, v - f_r)``.  Returns TI."""
+        entry = self.entry(node_id)
+        entry.v = max(0.0, entry.v - self.params.reward_step)
+        entry.correct_reports += 1
+        return self.params.ti_of(entry.v)
+
+    def set_v(self, node_id: int, v: float) -> None:
+        """Force a node's accumulator (used when restoring transfers)."""
+        if v < 0:
+            raise ValueError(f"v must be non-negative, got {v}")
+        self.entry(node_id).v = v
+
+    def forget(self, node_id: int) -> None:
+        """Drop a node's entry entirely (isolation from the cluster)."""
+        self._entries.pop(node_id, None)
+
+    # ------------------------------------------------------------------
+    # Serialisation / hand-off
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[int, float]:
+        """``{node_id: v}`` snapshot for transfer to the base station."""
+        return {node_id: entry.v for node_id, entry in self._entries.items()}
+
+    def import_state(self, state: Mapping[int, float]) -> None:
+        """Merge a transferred ``{node_id: v}`` snapshot into this table."""
+        for node_id, v in state.items():
+            self.set_v(node_id, v)
+
+    def clone(self) -> "TrustTable":
+        """Deep copy -- shadow cluster heads mirror the CH this way."""
+        copy = TrustTable(self.params)
+        for node_id, entry in self._entries.items():
+            copy._entries[node_id] = TrustEntry(
+                v=entry.v,
+                correct_reports=entry.correct_reports,
+                faulty_reports=entry.faulty_reports,
+            )
+        return copy
+
+    def below_threshold(self, ti_threshold: float) -> Tuple[int, ...]:
+        """Node ids whose TI has fallen strictly below ``ti_threshold``."""
+        return tuple(
+            sorted(
+                node_id
+                for node_id in self._entries
+                if self.ti(node_id) < ti_threshold
+            )
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TrustTable(lambda={self.params.lam}, f_r={self.params.fault_rate}, "
+            f"nodes={len(self._entries)})"
+        )

@@ -1,0 +1,394 @@
+"""One fully assembled TIBFIT simulation: build, run, score.
+
+:class:`SimulationRun` wires every substrate together the way §4
+describes the ns-2 setup: a deployment of sensing nodes with assigned
+behaviours, a lossy radio channel, one active cluster head running
+either the binary or the location pipeline, a ground-truth event
+generator firing rounds at a regular interval, and quiet windows in
+between in which faulty nodes may raise false alarms.  After the run it
+scores the CH's decision log against ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.clusterctl.head import ClusterHead, ClusterHeadConfig
+from repro.core.trust import TrustParameters
+from repro.network.geometry import Point, Region
+from repro.network.radio import ChannelConfig, RadioChannel
+from repro.network.topology import (
+    Deployment,
+    grid_deployment,
+    uniform_random_deployment,
+)
+from repro.sensors.faults import CollusionCoordinator, NodeBehavior
+from repro.sensors.generator import EventGenerator, GroundTruthEvent
+from repro.sensors.specs import (
+    CollusionCellPool,
+    CorrectSpec,
+    FaultSpec,
+    make_correct_behavior,
+    make_faulty_behavior,
+)
+from repro.sensors.node import SensorNode
+from repro.sensors.sensing import SensingConfig, SensingModel
+from repro.simkernel.simulator import Simulator
+from repro.experiments.metrics import RunMetrics, score_run
+
+
+# Re-exported for callers that configure runs through the harness; the
+# canonical definitions live with the sensors package.
+__all__ = ["CompromiseOrder", "CorrectSpec", "FaultSpec", "SimulationRun"]
+
+
+@dataclass(frozen=True)
+class CompromiseOrder:
+    """A scheduled behaviour takeover (Experiment 3's decay)."""
+
+    round_index: int
+    node_ids: Tuple[int, ...]
+    spec: FaultSpec
+
+
+class SimulationRun:
+    """Build and execute one simulation, then score it.
+
+    Parameters
+    ----------
+    mode:
+        ``"binary"`` (Experiment 1) or ``"location"`` (Experiments 2-3).
+    n_nodes:
+        Sensing nodes (the CH is an additional entity, per Table 1's
+        "10 sensing nodes, 1 CH").
+    field_side:
+        Side of the square deployment region.
+    deployment_kind:
+        ``"grid"`` (Experiment 2's 100-on-100x100) or ``"random"``.
+    sensing_radius / r_error:
+        ``r_s`` and the localisation bound.  Binary runs that want every
+        node to neighbour every event should pass a radius covering the
+        field (e.g. ``field_side * 1.5``).
+    lam / fault_rate:
+        Trust model parameters.
+    use_trust:
+        True = TIBFIT, False = majority-voting baseline.
+    correct_spec / fault_spec:
+        Behaviour parameters for the two populations.
+    faulty_ids:
+        Initially compromised node ids.
+    channel_loss:
+        The ns-2 stand-in's natural drop probability.
+    t_out / round_interval:
+        Collection window and spacing of event rounds.  Quiet windows
+        (false-alarm opportunities) run at ``round + round_interval/2``.
+    quiet_windows:
+        Disable to skip false-alarm opportunities entirely.
+    diagnosis_threshold:
+        Enable CH-side isolation of nodes below this TI.
+    concurrent_batch:
+        Events per round (>1 exercises §3.3's concurrent machinery, with
+        batch members kept at least ``r_error`` apart).
+    seed:
+        Master seed; every stream derives from it.
+    """
+
+    CH_ID_OFFSET = 10_000
+
+    def __init__(
+        self,
+        mode: str = "location",
+        n_nodes: int = 100,
+        field_side: float = 100.0,
+        deployment_kind: str = "grid",
+        sensing_radius: float = 20.0,
+        r_error: float = 5.0,
+        lam: float = 0.25,
+        fault_rate: float = 0.1,
+        use_trust: bool = True,
+        correct_spec: CorrectSpec = CorrectSpec(),
+        fault_spec: FaultSpec = FaultSpec(),
+        faulty_ids: Sequence[int] = (),
+        channel_loss: float = 0.008,
+        t_out: float = 1.0,
+        round_interval: float = 10.0,
+        quiet_windows: bool = True,
+        diagnosis_threshold: Optional[float] = None,
+        concurrent_batch: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if mode not in ("binary", "location"):
+            raise ValueError(f"mode must be 'binary' or 'location', got {mode!r}")
+        if deployment_kind not in ("grid", "random"):
+            raise ValueError(
+                f"deployment_kind must be 'grid' or 'random', got {deployment_kind!r}"
+            )
+        if round_interval <= 2 * t_out:
+            raise ValueError(
+                "round_interval must exceed 2*t_out so windows never span rounds"
+            )
+        unknown_faulty = set(faulty_ids) - set(range(n_nodes))
+        if unknown_faulty:
+            raise ValueError(f"faulty_ids outside deployment: {sorted(unknown_faulty)}")
+
+        self.mode = mode
+        self.n_nodes = n_nodes
+        self.field_side = field_side
+        self.deployment_kind = deployment_kind
+        self.sensing_radius = sensing_radius
+        self.r_error = r_error
+        self.trust_params = TrustParameters(lam=lam, fault_rate=fault_rate)
+        self.use_trust = use_trust
+        self.correct_spec = correct_spec
+        self.fault_spec = fault_spec
+        self.initial_faulty = tuple(sorted(set(faulty_ids)))
+        self.channel_loss = channel_loss
+        self.t_out = t_out
+        self.round_interval = round_interval
+        self.quiet_windows = quiet_windows
+        self.diagnosis_threshold = diagnosis_threshold
+        self.concurrent_batch = concurrent_batch
+        self.seed = seed
+
+        self._compromises: List[CompromiseOrder] = []
+        self._round_index = 0
+        self.events: List[GroundTruthEvent] = []
+        self._built = False
+
+        # Populated by build():
+        self.sim: Optional[Simulator] = None
+        self.channel: Optional[RadioChannel] = None
+        self.deployment: Optional[Deployment] = None
+        self.nodes: Dict[int, SensorNode] = {}
+        self.ch: Optional[ClusterHead] = None
+        self.generator: Optional[EventGenerator] = None
+        self._coordinator: Optional[CollusionCellPool] = None
+        self._ever_faulty: set = set(self.initial_faulty)
+
+    # ------------------------------------------------------------------
+    # Pre-run configuration
+    # ------------------------------------------------------------------
+    def schedule_compromise(
+        self, round_index: int, node_ids: Sequence[int], spec: Optional[FaultSpec] = None
+    ) -> None:
+        """Convert ``node_ids`` to faulty at the start of ``round_index``.
+
+        This is Experiment 3's decay driver ("after every 50 events 5%
+        more of the network is compromised").
+        """
+        if round_index < 0:
+            raise ValueError("round_index must be non-negative")
+        self._compromises.append(
+            CompromiseOrder(
+                round_index=round_index,
+                node_ids=tuple(sorted(set(node_ids))),
+                spec=spec if spec is not None else self.fault_spec,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def build(self) -> "SimulationRun":
+        """Assemble simulator, channel, deployment, behaviours, CH."""
+        if self._built:
+            raise RuntimeError("build() may only be called once per run")
+        self._built = True
+
+        region = Region.square(self.field_side)
+        self.sim = Simulator(seed=self.seed)
+        self.channel = RadioChannel(
+            self.sim, ChannelConfig(loss_probability=self.channel_loss)
+        )
+        if self.deployment_kind == "grid":
+            self.deployment = grid_deployment(self.n_nodes, region)
+        else:
+            self.deployment = uniform_random_deployment(
+                self.n_nodes, region, self.sim.streams.get("deployment")
+            )
+
+        ch_id = self.CH_ID_OFFSET
+        self.ch = ClusterHead(
+            node_id=ch_id,
+            position=region.center,
+            deployment=self.deployment,
+            config=ClusterHeadConfig(
+                mode=self.mode,
+                t_out=self.t_out,
+                sensing_radius=self.sensing_radius,
+                r_error=self.r_error,
+                trust=self.trust_params,
+                use_trust=self.use_trust,
+                diagnosis_threshold=self.diagnosis_threshold,
+            ),
+        )
+        self.channel.register(self.ch)
+
+        sensing_correct = SensingModel(
+            SensingConfig(
+                sensing_radius=self.sensing_radius,
+                location_sigma=self.correct_spec.sigma,
+            )
+        )
+        self._sensing_correct = sensing_correct
+
+        faulty = set(self.initial_faulty)
+        for node_id in self.deployment.node_ids():
+            behavior = (
+                self._make_faulty_behavior(sensing_correct, node_id)
+                if node_id in faulty
+                else self._make_correct_behavior(sensing_correct)
+            )
+            node = SensorNode(
+                node_id=node_id,
+                position=self.deployment.position_of(node_id),
+                behavior=behavior,
+                sensing=sensing_correct,
+                ch_id=ch_id,
+                rng=self.sim.streams.get(f"node-{node_id}"),
+                region=region,
+            )
+            # Smart adversaries track their own TI from CH broadcasts;
+            # under the baseline there is no TI to track (§4.2 context).
+            node.feedback_enabled = self.use_trust
+            self.nodes[node_id] = node
+            self.channel.register(node)
+
+        self.generator = EventGenerator(
+            region,
+            self.sim.streams.get("events"),
+            min_separation=(
+                2.0 * self.r_error if self.concurrent_batch > 1 else None
+            ),
+        )
+        return self
+
+    def _make_correct_behavior(self, sensing: SensingModel) -> NodeBehavior:
+        return make_correct_behavior(self.correct_spec, sensing)
+
+    def _make_faulty_behavior(
+        self, sensing: SensingModel, node_id: int
+    ) -> NodeBehavior:
+        spec = self.fault_spec
+        coordinator = None
+        if spec.level == 2:
+            if self._coordinator is None:
+                # One pool of collusion cells per run; colluders are
+                # assigned to cells round-robin as they are created.
+                assert self.sim is not None
+                self._coordinator = CollusionCellPool(
+                    spec, sensing, self.sim.streams.get("collusion")
+                )
+            coordinator = self._coordinator.assign()
+        return make_faulty_behavior(
+            spec,
+            sensing,
+            node_id,
+            self.trust_params,
+            correct_spec=self.correct_spec,
+            coordinator=coordinator,
+        )
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    def run(self, n_rounds: int) -> "SimulationRun":
+        """Drive ``n_rounds`` event rounds to completion."""
+        if not self._built:
+            self.build()
+        assert self.sim is not None and self.generator is not None
+        if n_rounds <= 0:
+            raise ValueError(f"n_rounds must be positive, got {n_rounds}")
+
+        for round_index in range(n_rounds):
+            round_time = (round_index + 1) * self.round_interval
+            self.sim.at(
+                round_time,
+                self._fire_round,
+                round_index,
+                priority=-1,
+                label=f"round-{round_index}",
+            )
+            if self.quiet_windows:
+                self.sim.at(
+                    round_time + self.round_interval / 2.0,
+                    self._fire_quiet_window,
+                    label=f"quiet-{round_index}",
+                )
+        self.sim.run()
+        assert self.ch is not None
+        self.ch.flush()
+        self.sim.run()
+        return self
+
+    def _fire_round(self, round_index: int) -> None:
+        self._round_index = round_index
+        self._apply_compromises(round_index)
+        assert self.generator is not None and self.sim is not None
+        batch = self.generator.next_batch(
+            self.concurrent_batch, time=self.sim.now
+        )
+        self.events.extend(batch)
+        for event in batch:
+            for node in self.nodes.values():
+                node.sense_event(event)
+
+    def _fire_quiet_window(self) -> None:
+        for node in self.nodes.values():
+            node.quiet_window()
+
+    def _apply_compromises(self, round_index: int) -> None:
+        for order in self._compromises:
+            if order.round_index != round_index:
+                continue
+            for node_id in order.node_ids:
+                node = self.nodes.get(node_id)
+                if node is None:
+                    continue
+                saved_spec = self.fault_spec
+                self.fault_spec = order.spec
+                behavior = self._make_faulty_behavior(
+                    self._sensing_correct, node_id
+                )
+                self.fault_spec = saved_spec
+                node.compromise(behavior)
+                self._ever_faulty.add(node_id)
+                assert self.sim is not None
+                self.sim.trace.emit(
+                    self.sim.now, "harness.compromise", node=node_id
+                )
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def metrics(self) -> RunMetrics:
+        """Score the completed run against ground truth."""
+        assert self.ch is not None
+        quiet_offset = (
+            self.round_interval / 2.0 if self.quiet_windows else None
+        )
+        outcomes, false_positives = score_run(
+            self.events,
+            self.ch.decisions,
+            round_interval=self.round_interval,
+            r_error=self.r_error if self.mode == "location" else None,
+            quiet_window_offset=quiet_offset,
+        )
+        diagnosed: Tuple[int, ...] = ()
+        if self.ch.diagnoser is not None:
+            diagnosed = self.ch.diagnoser.diagnosed
+        n_quiet = len({e.time for e in self.events}) if self.quiet_windows else 0
+        return RunMetrics(
+            outcomes=outcomes,
+            false_positive_decisions=false_positives,
+            quiet_windows=n_quiet,
+            decisions_total=len(self.ch.decisions),
+            diagnosed_nodes=diagnosed,
+            truly_faulty_nodes=tuple(sorted(self._ever_faulty)),
+        )
+
+    def trust_snapshot(self) -> Dict[int, float]:
+        """Current TI of every node as held by the CH."""
+        assert self.ch is not None
+        return self.ch.trust.tis()

@@ -1,0 +1,203 @@
+"""Planar geometry primitives used throughout the reproduction.
+
+The paper's event reports carry event locations as ``(r, theta)`` relative
+to the reporting node (§3.2); the cluster head converts them back to
+absolute coordinates using its knowledge of node positions.  This module
+provides the :class:`Point` / :class:`PolarOffset` types and the handful
+of vector operations the clustering heuristic needs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Point:
+    """An immutable point in the 2-D deployment plane."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def offset_to(self, other: "Point") -> "PolarOffset":
+        """Polar offset such that ``self.displace(offset) == other``."""
+        dx = other.x - self.x
+        dy = other.y - self.y
+        return PolarOffset(r=math.hypot(dx, dy), theta=math.atan2(dy, dx))
+
+    def displace(self, offset: "PolarOffset") -> "Point":
+        """The point reached by moving ``offset`` from here."""
+        return Point(
+            self.x + offset.r * math.cos(offset.theta),
+            self.y + offset.r * math.sin(offset.theta),
+        )
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Cartesian translation."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """``(x, y)`` tuple form."""
+        return (self.x, self.y)
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+
+@dataclass(frozen=True)
+class PolarOffset:
+    """A displacement expressed as range ``r`` and bearing ``theta`` (radians).
+
+    This is the representation sensing nodes use in their event reports:
+    the event lies at distance ``r``, bearing ``theta`` from the node.
+    """
+
+    r: float
+    theta: float
+
+    def __post_init__(self) -> None:
+        if self.r < 0:
+            raise ValueError(f"polar range must be non-negative, got {self.r}")
+
+    def normalised(self) -> "PolarOffset":
+        """Equivalent offset with theta wrapped into ``(-pi, pi]``."""
+        theta = math.remainder(self.theta, 2.0 * math.pi)
+        if theta <= -math.pi:
+            theta += 2.0 * math.pi
+        return PolarOffset(self.r, theta)
+
+
+@dataclass(frozen=True)
+class Region:
+    """An axis-aligned rectangular deployment region."""
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_max < self.x_min or self.y_max < self.y_min:
+            raise ValueError(f"degenerate region: {self}")
+
+    @property
+    def width(self) -> float:
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        return self.y_max - self.y_min
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point(
+            (self.x_min + self.x_max) / 2.0, (self.y_min + self.y_max) / 2.0
+        )
+
+    def contains(self, p: Point) -> bool:
+        """True when ``p`` lies inside or on the boundary."""
+        return (
+            self.x_min <= p.x <= self.x_max
+            and self.y_min <= p.y <= self.y_max
+        )
+
+    def clamp(self, p: Point) -> Point:
+        """Nearest point inside the region."""
+        return Point(
+            min(max(p.x, self.x_min), self.x_max),
+            min(max(p.y, self.y_min), self.y_max),
+        )
+
+    @classmethod
+    def square(cls, side: float) -> "Region":
+        """A ``side x side`` region anchored at the origin."""
+        if side <= 0:
+            raise ValueError(f"side must be positive, got {side}")
+        return cls(0.0, 0.0, side, side)
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return a.distance_to(b)
+
+
+def midpoint(a: Point, b: Point) -> Point:
+    """Unweighted midpoint of two points."""
+    return Point((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)
+
+
+def centroid(points: Sequence[Point]) -> Point:
+    """Unweighted centre of gravity of a non-empty point sequence."""
+    if not points:
+        raise ValueError("centroid of an empty point sequence is undefined")
+    sx = sum(p.x for p in points)
+    sy = sum(p.y for p in points)
+    n = float(len(points))
+    return Point(sx / n, sy / n)
+
+
+def weighted_centroid(
+    points: Sequence[Point], weights: Sequence[float]
+) -> Point:
+    """Weighted centre of gravity.
+
+    Used by the clustering heuristic's merge step (§3.2 step 5), where
+    overlapping cluster centres are replaced by their weighted average.
+    """
+    if not points:
+        raise ValueError("centroid of an empty point sequence is undefined")
+    if len(points) != len(weights):
+        raise ValueError(
+            f"{len(points)} points but {len(weights)} weights"
+        )
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    sx = sum(p.x * w for p, w in zip(points, weights))
+    sy = sum(p.y * w for p, w in zip(points, weights))
+    return Point(sx / total, sy / total)
+
+
+def pairwise_distances(points: Sequence[Point]) -> List[Tuple[float, int, int]]:
+    """All pairwise distances as ``(distance, i, j)`` triples, sorted.
+
+    The clustering heuristic's step 1 computes and sorts all pairwise
+    distances between event reports; this helper implements that.
+    """
+    out: List[Tuple[float, int, int]] = []
+    for i in range(len(points)):
+        for j in range(i + 1, len(points)):
+            out.append((points[i].distance_to(points[j]), i, j))
+    out.sort(key=lambda t: (t[0], t[1], t[2]))
+    return out
+
+
+def farthest_pair(points: Sequence[Point]) -> Tuple[int, int]:
+    """Indices of the two mutually farthest points (ties: lowest indices)."""
+    if len(points) < 2:
+        raise ValueError("need at least two points")
+    best = (-1.0, 0, 1)
+    for i in range(len(points)):
+        for j in range(i + 1, len(points)):
+            d = points[i].distance_to(points[j])
+            if d > best[0]:
+                best = (d, i, j)
+    return best[1], best[2]
+
+
+def points_within(
+    origin: Point, radius: float, candidates: Iterable[Point]
+) -> List[Point]:
+    """All candidate points within ``radius`` of ``origin`` (inclusive)."""
+    return [p for p in candidates if origin.distance_to(p) <= radius]

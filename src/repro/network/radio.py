@@ -1,0 +1,266 @@
+"""Lossy single-hop radio channel.
+
+The original evaluation ran over ns-2's 802.11 wireless model, whose only
+behaviour the paper leans on is that "correct nodes' packets are
+naturally dropped less than 1% of the time" (§4.2) -- which is exactly
+why Experiment 2 sets the fault-rate constant ``f_r = 0.1`` differently
+from the NER.  :class:`RadioChannel` models that directly: each
+transmission is delivered after a propagation delay unless an independent
+Bernoulli trial drops it.  Range limits and per-link loss overrides are
+supported for topology-sensitive scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.network.messages import Message
+from repro.network.node import NetworkNode
+from repro.simkernel.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Channel behaviour knobs.
+
+    Attributes
+    ----------
+    loss_probability:
+        Independent probability that any single transmission is dropped.
+        The ns-2 stand-in default is 0.008 (sub-1%, per §4.2).
+    propagation_delay:
+        Fixed time between transmit and deliver.
+    jitter:
+        Half-width of a uniform random perturbation added to the delay
+        (delivery order between different senders can then interleave, as
+        on a real channel).  Zero disables jitter.
+    range_limit:
+        Maximum sender-receiver distance; transmissions beyond it are
+        silently lost.  ``None`` disables the limit (single-cluster
+        experiments assume one-hop reachability, §2).
+    """
+
+    loss_probability: float = 0.008
+    propagation_delay: float = 0.01
+    jitter: float = 0.0
+    range_limit: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise ValueError(
+                f"loss_probability must be in [0, 1], got {self.loss_probability}"
+            )
+        if self.propagation_delay < 0:
+            raise ValueError("propagation_delay must be non-negative")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if self.range_limit is not None and self.range_limit <= 0:
+            raise ValueError("range_limit must be positive when set")
+
+
+@dataclass(frozen=True)
+class DeliveryOutcome:
+    """Result descriptor for a single transmission attempt."""
+
+    delivered: bool
+    reason: str  # "ok", "dropped", "out-of-range", "dead-receiver", "unknown-destination"
+
+
+class RadioChannel:
+    """Single-hop broadcast medium connecting :class:`NetworkNode` endpoints.
+
+    Parameters
+    ----------
+    sim:
+        The simulator used for delivery scheduling and randomness (stream
+        name ``"channel"``).
+    config:
+        Channel behaviour; see :class:`ChannelConfig`.
+    """
+
+    def __init__(
+        self, sim: Simulator, config: Optional[ChannelConfig] = None
+    ) -> None:
+        self._sim = sim
+        self.config = config if config is not None else ChannelConfig()
+        self._nodes: Dict[int, NetworkNode] = {}
+        self._link_loss: Dict[Tuple[int, int], float] = {}
+        self._taps: Dict[int, list] = {}
+        self._rng = sim.streams.get("channel")
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, node: NetworkNode) -> None:
+        """Add an endpoint to the channel and wire its references."""
+        if node.node_id in self._nodes:
+            raise ValueError(f"duplicate node id {node.node_id}")
+        self._nodes[node.node_id] = node
+        node.attach(self._sim, self)
+
+    def unregister(self, node_id: int) -> None:
+        """Remove an endpoint (e.g. a diagnosed-faulty node being isolated)."""
+        self._nodes.pop(node_id, None)
+
+    def node(self, node_id: int) -> NetworkNode:
+        """Look up a registered endpoint by id."""
+        return self._nodes[node_id]
+
+    def known_ids(self) -> Tuple[int, ...]:
+        """All registered node ids, sorted."""
+        return tuple(sorted(self._nodes))
+
+    def set_link_loss(self, sender: int, receiver: int, p: float) -> None:
+        """Override loss probability for one directed link.
+
+        Used by fault-injection tests and by Experiment 2's faulty nodes,
+        which "drop packets 25% of the time" (Table 2) -- modelled as
+        elevated loss on their outgoing links.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"loss probability must be in [0, 1], got {p}")
+        self._link_loss[(sender, receiver)] = p
+
+    def set_sender_loss(self, sender: int, p: float) -> None:
+        """Override loss probability for every link leaving ``sender``."""
+        for receiver in self._nodes:
+            if receiver != sender:
+                self.set_link_loss(sender, receiver, p)
+
+    def clear_link_loss(self, sender: int, receiver: int) -> None:
+        """Remove a per-link override, reverting to the channel default."""
+        self._link_loss.pop((sender, receiver), None)
+
+    # ------------------------------------------------------------------
+    # Promiscuous taps (shadow cluster heads, §3.4)
+    # ------------------------------------------------------------------
+    def add_tap(self, watched_id: int, tap: NetworkNode) -> None:
+        """Deliver a copy of every message ``watched_id`` receives to ``tap``.
+
+        §3.4: shadow cluster heads "monitor all input and output traffic
+        associated with the selected CH".  Input traffic is mirrored via
+        taps; output traffic is visible because CH verdicts are broadcast.
+        """
+        self._taps.setdefault(watched_id, []).append(tap)
+
+    def remove_tap(self, watched_id: int, tap: NetworkNode) -> None:
+        """Stop mirroring ``watched_id``'s inbound traffic to ``tap``."""
+        taps = self._taps.get(watched_id, [])
+        if tap in taps:
+            taps.remove(tap)
+
+    # ------------------------------------------------------------------
+    # Traffic
+    # ------------------------------------------------------------------
+    def unicast(
+        self, sender: NetworkNode, destination: int, message: Message
+    ) -> DeliveryOutcome:
+        """Attempt delivery of ``message`` from ``sender`` to ``destination``.
+
+        The returned outcome reflects the *transmission-time* verdict
+        (loss/range checks happen immediately; the callback fires after
+        the propagation delay).
+        """
+        self.sent += 1
+        receiver = self._nodes.get(destination)
+        if receiver is None:
+            outcome = DeliveryOutcome(False, "unknown-destination")
+        elif not receiver.alive:
+            outcome = DeliveryOutcome(False, "dead-receiver")
+        elif not self._in_range(sender, receiver):
+            outcome = DeliveryOutcome(False, "out-of-range")
+        elif self._rng.random() < self._loss_for(sender.node_id, destination):
+            outcome = DeliveryOutcome(False, "dropped")
+        else:
+            outcome = DeliveryOutcome(True, "ok")
+
+        if outcome.delivered:
+            self.delivered += 1
+            self._sim.after(
+                self._delay(),
+                self._deliver,
+                receiver,
+                message,
+                label=f"deliver:{type(message).__name__}",
+            )
+        else:
+            self.dropped += 1
+            self._sim.trace.emit(
+                self._sim.now,
+                "radio.drop",
+                sender=sender.node_id,
+                destination=destination,
+                reason=outcome.reason,
+                message=type(message).__name__,
+            )
+        return outcome
+
+    def broadcast(self, sender: NetworkNode, message: Message) -> int:
+        """Transmit to every other live endpoint; returns deliveries started.
+
+        Each receiver suffers an independent loss trial, matching a
+        contention-free broadcast over independent fading links.
+        """
+        started = 0
+        for node_id in sorted(self._nodes):
+            if node_id == sender.node_id:
+                continue
+            if self.unicast(sender, node_id, message).delivered:
+                started += 1
+        return started
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _deliver(self, receiver: NetworkNode, message: Message) -> None:
+        if not receiver.alive:
+            # Receiver died between transmit and delivery.
+            self._sim.trace.emit(
+                self._sim.now,
+                "radio.drop",
+                sender=message.sender,
+                destination=receiver.node_id,
+                reason="died-in-flight",
+                message=type(message).__name__,
+            )
+            return
+        self._sim.trace.emit(
+            self._sim.now,
+            "radio.deliver",
+            sender=message.sender,
+            destination=receiver.node_id,
+            message=type(message).__name__,
+        )
+        receiver.on_message(message)
+        for tap in self._taps.get(receiver.node_id, ()):
+            if tap.alive and tap.node_id != message.sender:
+                tap.on_message(message)
+
+    def _loss_for(self, sender: int, receiver: int) -> float:
+        return self._link_loss.get(
+            (sender, receiver), self.config.loss_probability
+        )
+
+    def _in_range(self, sender: NetworkNode, receiver: NetworkNode) -> bool:
+        if self.config.range_limit is None:
+            return True
+        return (
+            sender.position.distance_to(receiver.position)
+            <= self.config.range_limit
+        )
+
+    def _delay(self) -> float:
+        delay = self.config.propagation_delay
+        if self.config.jitter > 0:
+            delay += self._rng.uniform(-self.config.jitter, self.config.jitter)
+        return max(delay, 0.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"RadioChannel(nodes={len(self._nodes)}, sent={self.sent}, "
+            f"delivered={self.delivered}, dropped={self.dropped})"
+        )

@@ -1,0 +1,160 @@
+"""Ground-truth event generation.
+
+§4: "Events are generated at regular time intervals by the *event
+generator*, using a uniform random variable to generate X and Y
+coordinates uniformly distributed in the network.  The event generator
+informs the event neighbors of the event and its location."
+
+For the concurrent-event runs (Fig. 7), batches of simultaneous events
+are drawn with a minimum pairwise separation of ``r_error`` -- §3.3's
+standing assumption that "concurrent events cannot occur closer than a
+distance of r_error".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional
+
+import numpy as np
+
+from repro.network.geometry import Point, Region
+from repro.simkernel.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class GroundTruthEvent:
+    """One real event as known to the generator (and to the metrics)."""
+
+    event_id: int
+    time: float
+    location: Point
+
+
+class EventGenerator:
+    """Draws ground-truth events uniformly over a region.
+
+    Parameters
+    ----------
+    region:
+        The deployment field.
+    rng:
+        Random generator (use the ``"events"`` stream so event placement
+        is decoupled from channel noise and fault draws).
+    min_separation:
+        Minimum pairwise distance between events of one concurrent
+        batch.  ``None`` disables the constraint for single-event runs.
+    max_rejections:
+        Safety bound on rejection sampling for separated batches.
+    """
+
+    def __init__(
+        self,
+        region: Region,
+        rng: np.random.Generator,
+        min_separation: Optional[float] = None,
+        max_rejections: int = 10_000,
+    ) -> None:
+        if min_separation is not None and min_separation <= 0:
+            raise ValueError("min_separation must be positive when set")
+        if max_rejections <= 0:
+            raise ValueError("max_rejections must be positive")
+        self.region = region
+        self._rng = rng
+        self.min_separation = min_separation
+        self.max_rejections = max_rejections
+        self._ids: Iterator[int] = itertools.count(1)
+        self.generated = 0
+
+    # ------------------------------------------------------------------
+    # Draws
+    # ------------------------------------------------------------------
+    def draw_location(self) -> Point:
+        """One uniform location in the region."""
+        return Point(
+            float(self._rng.uniform(self.region.x_min, self.region.x_max)),
+            float(self._rng.uniform(self.region.y_min, self.region.y_max)),
+        )
+
+    def next_event(self, time: float = 0.0) -> GroundTruthEvent:
+        """One event at ``time`` with a fresh id."""
+        self.generated += 1
+        return GroundTruthEvent(
+            event_id=next(self._ids), time=time, location=self.draw_location()
+        )
+
+    def next_batch(self, size: int, time: float = 0.0) -> List[GroundTruthEvent]:
+        """``size`` simultaneous events, pairwise at least
+        ``min_separation`` apart (when configured).
+
+        Raises ``RuntimeError`` if the separation constraint cannot be
+        satisfied within ``max_rejections`` draws (region too small for
+        the batch).
+        """
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        locations: List[Point] = []
+        rejections = 0
+        while len(locations) < size:
+            candidate = self.draw_location()
+            if self.min_separation is not None and any(
+                candidate.distance_to(p) < self.min_separation
+                for p in locations
+            ):
+                rejections += 1
+                if rejections > self.max_rejections:
+                    raise RuntimeError(
+                        f"could not place {size} events with separation "
+                        f">= {self.min_separation} in {self.region}"
+                    )
+                continue
+            locations.append(candidate)
+        self.generated += size
+        return [
+            GroundTruthEvent(
+                event_id=next(self._ids), time=time, location=loc
+            )
+            for loc in locations
+        ]
+
+    # ------------------------------------------------------------------
+    # DES driving
+    # ------------------------------------------------------------------
+    def drive(
+        self,
+        sim: Simulator,
+        interval: float,
+        count: int,
+        on_event: Callable[[GroundTruthEvent], None],
+        batch_size: int = 1,
+        start: Optional[float] = None,
+    ) -> None:
+        """Schedule ``count`` rounds of events on the simulator.
+
+        Each round at ``start + k * interval`` emits ``batch_size``
+        simultaneous events (separated per ``min_separation``) and calls
+        ``on_event`` for each -- the DES analogue of the paper's event
+        generator "informing the event neighbors".
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        first = sim.now + interval if start is None else start
+
+        def fire_round() -> None:
+            for event in self.next_batch(batch_size, time=sim.now):
+                sim.trace.emit(
+                    sim.now,
+                    "events.generated",
+                    event_id=event.event_id,
+                    x=event.location.x,
+                    y=event.location.y,
+                )
+                on_event(event)
+
+        sim.every(interval, fire_round, start=first, count=count,
+                  label="event-generator")

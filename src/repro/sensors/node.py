@@ -1,0 +1,154 @@
+"""The sensing-node process: perception -> behaviour -> report.
+
+A :class:`SensorNode` is a network endpoint wrapping one
+:class:`~repro.sensors.faults.NodeBehavior`.  The ground-truth event
+generator "informs" it of events within its sensing radius (physics,
+not radio); the behaviour decides what, if anything, to claim; the node
+encodes the claim as an ``(r, theta)`` offset and transmits it to its
+cluster head.  CH decision announcements received over the radio feed
+the behaviour's outcome observer, which is how smart adversaries track
+their own trust index.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.network.geometry import Point, Region
+from repro.network.messages import (
+    ChDecisionAnnouncement,
+    EventReportMessage,
+    Message,
+)
+from repro.network.node import NetworkNode
+from repro.sensors.faults import Level2Behavior, NodeBehavior
+from repro.sensors.generator import GroundTruthEvent
+from repro.sensors.sensing import SensingModel
+
+
+class SensorNode(NetworkNode):
+    """One sensing node with a pluggable (possibly malicious) behaviour.
+
+    Parameters
+    ----------
+    node_id / position:
+        Network identity and deployment location.
+    behavior:
+        Decision object for this node's conduct; swappable at runtime
+        (Experiment 3 compromises correct nodes mid-run by replacing
+        their behaviour).
+    sensing:
+        Perception model (detection radius; used for the physics gate).
+    ch_id:
+        Current cluster head to report to.
+    rng:
+        This node's private randomness.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        position: Point,
+        behavior: NodeBehavior,
+        sensing: SensingModel,
+        ch_id: int,
+        rng: np.random.Generator,
+        region: Optional[Region] = None,
+    ) -> None:
+        super().__init__(node_id, position)
+        self.behavior = behavior
+        self.sensing = sensing
+        self.ch_id = ch_id
+        self._rng = rng
+        self.region = region
+        self.reports_sent = 0
+        self.events_sensed = 0
+        #: Whether CH announcements feed the behaviour's outcome observer.
+        #: Under the stateless baseline there is no trust index for a
+        #: smart adversary to manage, so the harness disables feedback
+        #: there -- smart nodes then lie continuously, matching the
+        #: paper's baseline curves (Figs. 5-6).
+        self.feedback_enabled = True
+
+    # ------------------------------------------------------------------
+    # Behaviour management
+    # ------------------------------------------------------------------
+    def compromise(self, new_behavior: NodeBehavior) -> None:
+        """Replace this node's behaviour (adversarial takeover)."""
+        self.behavior = new_behavior
+
+    @property
+    def is_faulty(self) -> bool:
+        """Whether the current behaviour is a fault model."""
+        return self.behavior.is_faulty
+
+    # ------------------------------------------------------------------
+    # Stimuli
+    # ------------------------------------------------------------------
+    def sense_event(self, event: GroundTruthEvent) -> None:
+        """React to a ground-truth event (generator-driven physics).
+
+        Events outside the sensing radius are imperceptible -- even a
+        malicious node cannot report what it cannot coordinate on, and
+        the paper's event generator only informs event neighbours.
+        """
+        if not self.alive:
+            return
+        if not self.sensing.detects(self.position, event.location):
+            return
+        self.events_sensed += 1
+        if isinstance(self.behavior, Level2Behavior):
+            self.behavior.set_event_token(event.event_id)
+        claim = self.behavior.on_event(
+            self.position, event.location, self._rng
+        )
+        if claim is not None:
+            self._transmit(claim, event_id=event.event_id)
+
+    def quiet_window(self) -> None:
+        """A no-event interval: the behaviour may raise a false alarm."""
+        if not self.alive:
+            return
+        region = self.region
+        if region is None:
+            return
+        claim = self.behavior.on_quiet_window(self.position, region, self._rng)
+        if claim is not None:
+            self._transmit(claim, event_id=None)
+
+    # ------------------------------------------------------------------
+    # Radio
+    # ------------------------------------------------------------------
+    def on_message(self, message: Message) -> None:
+        if isinstance(message, ChDecisionAnnouncement):
+            self._observe_decision(message)
+
+    def _observe_decision(self, message: ChDecisionAnnouncement) -> None:
+        """Feed the CH's broadcast verdict back into the behaviour.
+
+        The trust update rule is deterministic given the verdict and the
+        node's own role, so the node can replay it exactly: reporters
+        are rewarded iff the event was upheld, non-reporters iff it was
+        rejected.
+        """
+        if not self.feedback_enabled:
+            return
+        if self.node_id in message.reporters:
+            self.behavior.observe_outcome(rewarded=message.occurred)
+        elif self.node_id in message.non_reporters:
+            self.behavior.observe_outcome(rewarded=not message.occurred)
+
+    def _transmit(self, claimed_location: Point, event_id: Optional[int]) -> None:
+        offset = self.sensing.encode_report(self.position, claimed_location)
+        self.reports_sent += 1
+        self.send(
+            self.ch_id,
+            EventReportMessage(
+                sender=self.node_id,
+                event_id=event_id,
+                offset=offset,
+                claimed=True,
+            ),
+        )

@@ -1,0 +1,139 @@
+"""Stable priority queue of scheduled simulation events.
+
+Determinism contract
+--------------------
+Two events scheduled for the same simulation time fire in a total order
+defined by ``(time, priority, sequence)``:
+
+* lower ``priority`` first (default 0),
+* ties broken by insertion order (``sequence``).
+
+This makes every run a pure function of the seed set, which the TIBFIT
+experiments rely on for reproducibility.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+from repro.simkernel.errors import SchedulingError
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A single entry in the event queue.
+
+    Ordering is by ``(time, priority, sequence)``; the callback and its
+    arguments are excluded from comparisons.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    kwargs: dict = field(compare=False, default_factory=dict)
+    cancelled: bool = field(compare=False, default=False)
+    label: str = field(compare=False, default="")
+    _queue: Optional["EventQueue"] = field(
+        compare=False, default=None, repr=False
+    )
+
+    def cancel(self) -> None:
+        """Mark this event so the loop skips it when popped.
+
+        Cancellation is O(1); the heap entry is lazily discarded on pop.
+        Cancelling twice is a no-op.
+        """
+        if self.cancelled:
+            return
+        self.cancelled = True
+        if self._queue is not None:
+            self._queue.note_cancelled()
+
+    def fire(self) -> Any:
+        """Invoke the callback with its stored arguments."""
+        return self.callback(*self.args, **self.kwargs)
+
+
+class EventQueue:
+    """Min-heap of :class:`ScheduledEvent` with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._counter: Iterator[int] = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *,
+        priority: int = 0,
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` at absolute simulation ``time``.
+
+        Returns the :class:`ScheduledEvent` handle, which supports
+        :meth:`ScheduledEvent.cancel`.
+        """
+        if not callable(callback):
+            raise SchedulingError(f"callback must be callable, got {callback!r}")
+        if time != time:  # NaN check
+            raise SchedulingError("cannot schedule an event at time NaN")
+        event = ScheduledEvent(
+            time=time,
+            priority=priority,
+            sequence=next(self._counter),
+            callback=callback,
+            args=args,
+            kwargs=kwargs or {},
+            label=label,
+            _queue=self,
+        )
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> ScheduledEvent:
+        """Remove and return the next live event.
+
+        Raises ``IndexError`` when no live events remain.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise IndexError("pop from empty EventQueue")
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def note_cancelled(self) -> None:
+        """Account for an externally cancelled event (bookkeeping only)."""
+        if self._live > 0:
+            self._live -= 1
+
+    def clear(self) -> None:
+        """Drop all queued events."""
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,115 @@
+"""Structured trace recording for simulation runs.
+
+A :class:`TraceLog` collects :class:`TraceRecord` entries -- time-stamped,
+categorised key/value records -- that integration tests and experiment
+post-processing query.  Tracing is cheap when disabled and bounded when
+enabled (a ring buffer caps memory for long sweeps).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    Attributes
+    ----------
+    time:
+        Simulation time at which the record was emitted.
+    category:
+        A dotted namespace such as ``"radio.drop"`` or ``"ch.decision"``.
+    fields:
+        Arbitrary structured payload.
+    """
+
+    time: float
+    category: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def matches(self, category_prefix: str) -> bool:
+        """True when this record's category equals or nests under the prefix.
+
+        ``"radio"`` matches ``"radio"`` and ``"radio.drop"`` but not
+        ``"radiometer"``.
+        """
+        if self.category == category_prefix:
+            return True
+        return self.category.startswith(category_prefix + ".")
+
+
+class TraceLog:
+    """A bounded, filterable log of :class:`TraceRecord` entries.
+
+    Parameters
+    ----------
+    enabled:
+        When False, :meth:`emit` is a near-no-op (counts only).
+    max_records:
+        Ring-buffer capacity; oldest records are evicted first.
+    """
+
+    def __init__(self, enabled: bool = True, max_records: int = 100_000) -> None:
+        if max_records <= 0:
+            raise ValueError("max_records must be positive")
+        self.enabled = enabled
+        self._records: Deque[TraceRecord] = deque(maxlen=max_records)
+        self._counts: Counter = Counter()
+
+    def emit(self, time: float, category: str, **fields: Any) -> None:
+        """Record one entry (category counters always update)."""
+        self._counts[category] += 1
+        if self.enabled:
+            self._records.append(TraceRecord(time, category, fields))
+
+    def count(self, category_prefix: str) -> int:
+        """Total emissions whose category sits at/under ``category_prefix``.
+
+        Counts survive ring-buffer eviction and the disabled state.
+        """
+        total = 0
+        for category, n in self._counts.items():
+            if category == category_prefix or category.startswith(
+                category_prefix + "."
+            ):
+                total += n
+        return total
+
+    def records(
+        self,
+        category_prefix: Optional[str] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> List[TraceRecord]:
+        """Buffered records, optionally filtered by category and predicate."""
+        out: List[TraceRecord] = []
+        for record in self._records:
+            if category_prefix is not None and not record.matches(
+                category_prefix
+            ):
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            out.append(record)
+        return out
+
+    def last(self, category_prefix: str) -> Optional[TraceRecord]:
+        """Most recent buffered record under ``category_prefix``."""
+        for record in reversed(self._records):
+            if record.matches(category_prefix):
+                return record
+        return None
+
+    def clear(self) -> None:
+        """Drop all buffered records and reset counters."""
+        self._records.clear()
+        self._counts.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)

@@ -1,0 +1,57 @@
+"""Shared fixtures for the TIBFIT reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.trust import TrustParameters, TrustTable
+from repro.network.geometry import Point, Region
+from repro.network.radio import ChannelConfig, RadioChannel
+from repro.network.topology import grid_deployment
+from repro.simkernel.simulator import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator with a fixed seed."""
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic numpy generator for direct draws."""
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def lossless_channel(sim: Simulator) -> RadioChannel:
+    """A channel that never drops and delivers with minimal delay."""
+    return RadioChannel(
+        sim, ChannelConfig(loss_probability=0.0, propagation_delay=0.001)
+    )
+
+
+@pytest.fixture
+def unit_region() -> Region:
+    """The canonical 100x100 field of Experiment 2."""
+    return Region.square(100.0)
+
+
+@pytest.fixture
+def grid10x10(unit_region: Region):
+    """Experiment 2's deployment: 100 nodes cell-centred on a 10x10 grid."""
+    return grid_deployment(100, unit_region)
+
+
+@pytest.fixture
+def trust_table() -> TrustTable:
+    """A ten-node trust table with Experiment 1's parameters."""
+    return TrustTable(
+        TrustParameters(lam=0.1, fault_rate=0.01), node_ids=range(10)
+    )
+
+
+@pytest.fixture
+def center() -> Point:
+    return Point(50.0, 50.0)

@@ -1,0 +1,129 @@
+"""Unit tests for CTI voting over binary events (§3.1)."""
+
+import pytest
+
+from repro.core.binary import CtiVoter
+from repro.core.trust import TrustParameters, TrustTable
+
+
+def fresh_voter(lam=0.1, fr=0.01, n=10, **kwargs):
+    table = TrustTable(
+        TrustParameters(lam=lam, fault_rate=fr), node_ids=range(n)
+    )
+    return CtiVoter(table, **kwargs), table
+
+
+class TestBasicVoting:
+    def test_majority_of_equal_trust_wins(self):
+        voter, _ = fresh_voter()
+        result = voter.decide([0, 1, 2, 3, 4, 5], [6, 7, 8, 9])
+        assert result.occurred
+        assert result.cti_reporters == pytest.approx(6.0)
+        assert result.cti_non_reporters == pytest.approx(4.0)
+
+    def test_silent_majority_rejects_event(self):
+        voter, _ = fresh_voter()
+        result = voter.decide([0, 1], [2, 3, 4, 5])
+        assert not result.occurred
+
+    def test_exact_tie_defaults_to_no_event(self):
+        """Strict majority per the §5 analysis: a tie fails."""
+        voter, _ = fresh_voter()
+        result = voter.decide([0, 1, 2, 3, 4], [5, 6, 7, 8, 9])
+        assert result.tie
+        assert not result.occurred
+
+    def test_tie_break_flag_flips_convention(self):
+        voter, _ = fresh_voter(tie_breaks_to_occurred=True)
+        result = voter.decide([0, 1], [2, 3])
+        assert result.tie
+        assert result.occurred
+
+    def test_overlapping_partitions_rejected(self):
+        voter, _ = fresh_voter()
+        with pytest.raises(ValueError):
+            voter.decide([0, 1], [1, 2])
+
+    def test_empty_reporters_loses_to_anyone(self):
+        voter, _ = fresh_voter()
+        assert not voter.decide([], [0]).occurred
+
+    def test_margin_property(self):
+        voter, _ = fresh_voter()
+        result = voter.decide([0, 1, 2], [3])
+        assert result.margin == pytest.approx(2.0)
+
+
+class TestTrustUpdates:
+    def test_winners_rewarded_losers_penalized(self):
+        voter, table = fresh_voter()
+        table.penalize(0)  # give node 0 headroom to be rewarded
+        ti_before_w = table.ti(0)
+        result = voter.decide([0, 1, 2, 3, 4, 5], [6, 7, 8, 9])
+        assert result.rewarded == (0, 1, 2, 3, 4, 5)
+        assert result.penalized == (6, 7, 8, 9)
+        assert table.ti(0) > ti_before_w
+        assert table.ti(6) < 1.0
+
+    def test_advisory_vote_leaves_trust_untouched(self):
+        voter, table = fresh_voter()
+        voter.decide([0, 1, 2], [3], apply_updates=False)
+        assert all(table.ti(i) == 1.0 for i in range(4))
+
+    def test_preview_equals_decide_verdict(self):
+        voter, _ = fresh_voter()
+        assert voter.preview([0, 1, 2], [3]) is True
+        assert voter.preview([0], [1, 2, 3]) is False
+
+    def test_votes_taken_counts(self):
+        voter, _ = fresh_voter()
+        voter.decide([0], [1])
+        voter.decide([0], [1])
+        assert voter.votes_taken == 2
+
+
+class TestStatefulMasking:
+    def test_trusted_minority_beats_distrusted_majority(self):
+        """The core TIBFIT claim (§3.1): earned trust outweighs headcount."""
+        voter, table = fresh_voter(lam=0.25, fr=0.1)
+        liars = [0, 1, 2, 3, 4, 5]  # 6 of 10: a faulty majority
+        honest = [6, 7, 8, 9]
+        # History: liars lose a string of past votes.
+        for _ in range(10):
+            for liar in liars:
+                table.penalize(liar)
+        result = voter.decide(reporters=honest, non_reporters=liars)
+        assert result.occurred
+        assert result.cti_reporters > result.cti_non_reporters
+
+    def test_fresh_system_cannot_mask_majority(self):
+        """Without accumulated state, a faulty majority wins -- §3.1's
+        'if the initial condition consists of faulty nodes being in the
+        majority, then the protocol will be unsuccessful'."""
+        voter, _ = fresh_voter()
+        liars = [0, 1, 2, 3, 4, 5]
+        honest = [6, 7, 8, 9]
+        result = voter.decide(reporters=liars, non_reporters=honest)
+        assert result.occurred  # the lie is accepted
+
+    def test_gradual_compromise_is_tolerated(self):
+        """§5's scenario: nodes fall one at a time every k events; with
+        enough spacing the correct CTI stays ahead of the faulty CTI
+        even when the faulty nodes reach a majority."""
+        lam, fr = 0.25, 0.01
+        voter, table = fresh_voter(lam=lam, fr=fr, n=11)
+        k = 12  # events between compromises (> break-even for lam=0.25)
+        faulty = []
+        correct = list(range(11))
+        detections = []
+        for round_index in range(k * 8):  # compromise 8 of 11 nodes
+            if round_index % k == 0 and len(faulty) < 8:
+                node = correct.pop()
+                faulty.append(node)
+            # Correct nodes always report the (real) event; faulty never.
+            result = voter.decide(reporters=correct, non_reporters=faulty)
+            detections.append(result.occurred)
+        # Faulty nodes are 8 of 11 (a >70% majority) by the end, yet
+        # detection never failed.
+        assert all(detections)
+        assert len(faulty) == 8

@@ -1,0 +1,200 @@
+"""Unit tests for the location-determination decision engine (§3.2)."""
+
+import pytest
+
+from repro.core.baseline import MajorityVoter
+from repro.core.binary import CtiVoter
+from repro.core.location import LocationDecisionEngine, LocationReport
+from repro.core.trust import TrustParameters, TrustTable
+from repro.network.geometry import Point, Region
+from repro.network.topology import Deployment
+
+
+def make_engine(positions, voter=None, r_s=20.0, r_error=5.0):
+    deployment = Deployment(region=Region.square(100.0))
+    for node_id, pos in positions.items():
+        deployment.add(node_id, pos)
+    if voter is None:
+        table = TrustTable(
+            TrustParameters(lam=0.25, fault_rate=0.1),
+            node_ids=positions.keys(),
+        )
+        voter = CtiVoter(table)
+    return (
+        LocationDecisionEngine(
+            deployment=deployment,
+            sensing_radius=r_s,
+            r_error=r_error,
+            voter=voter,
+        ),
+        voter,
+    )
+
+
+CROWD = {
+    0: Point(45.0, 45.0),
+    1: Point(55.0, 45.0),
+    2: Point(45.0, 55.0),
+    3: Point(55.0, 55.0),
+    4: Point(50.0, 40.0),
+}
+
+
+class TestDecisions:
+    def test_unanimous_reports_yield_located_event(self):
+        engine, _ = make_engine(CROWD)
+        reports = [
+            LocationReport(node_id=i, location=Point(50.0, 50.0))
+            for i in CROWD
+        ]
+        decisions = engine.decide(reports)
+        assert len(decisions) == 1
+        assert decisions[0].occurred
+        assert decisions[0].location.distance_to(Point(50.0, 50.0)) < 0.01
+        assert decisions[0].supporters == (0, 1, 2, 3, 4)
+
+    def test_no_reports_yield_no_decisions(self):
+        engine, _ = make_engine(CROWD)
+        assert engine.decide([]) == []
+
+    def test_lone_false_report_is_outvoted(self):
+        """A single liar's cluster loses to the silent trusted majority."""
+        engine, _ = make_engine(CROWD)
+        reports = [LocationReport(node_id=0, location=Point(50.0, 50.0))]
+        decisions = engine.decide(reports)
+        assert len(decisions) == 1
+        assert not decisions[0].occurred
+        assert decisions[0].supporters == (0,)
+        assert set(decisions[0].dissenters) == {1, 2, 3, 4}
+
+    def test_outlier_report_forms_losing_side_cluster(self):
+        """§3.2: localisation errors beyond r_error are thrown out --
+        the good cluster still wins and is well-located."""
+        engine, _ = make_engine(CROWD)
+        reports = [
+            LocationReport(node_id=0, location=Point(50.0, 50.0)),
+            LocationReport(node_id=1, location=Point(50.5, 49.5)),
+            LocationReport(node_id=2, location=Point(49.4, 50.2)),
+            LocationReport(node_id=3, location=Point(70.0, 70.0)),  # liar
+        ]
+        decisions = engine.decide(reports)
+        occurred = [d for d in decisions if d.occurred]
+        assert len(occurred) == 1
+        assert occurred[0].location.distance_to(Point(50.0, 50.0)) < 2.0
+        rejected = [d for d in decisions if not d.occurred]
+        assert any(d.supporters == (3,) for d in rejected)
+
+    def test_duplicate_reports_from_one_node_keep_earliest(self):
+        engine, _ = make_engine(CROWD)
+        reports = [
+            LocationReport(node_id=0, location=Point(50.0, 50.0), time=1.0),
+            LocationReport(node_id=0, location=Point(80.0, 80.0), time=2.0),
+        ]
+        decisions = engine.decide(reports)
+        all_supporters = [d.supporters for d in decisions]
+        assert ((0,) in all_supporters)
+        # The node's second (conflicting) report is ignored entirely.
+        assert len([d for d in decisions if 0 in d.supporters]) == 1
+
+    def test_excluded_nodes_are_invisible(self):
+        engine, _ = make_engine(CROWD)
+        reports = [
+            LocationReport(node_id=i, location=Point(50.0, 50.0))
+            for i in CROWD
+        ]
+        decisions = engine.decide(reports, excluded_nodes=[0, 1])
+        assert decisions[0].supporters == (2, 3, 4)
+        assert 0 not in decisions[0].dissenters
+
+    def test_implausible_claim_rejected_at_the_gate(self):
+        """A report claiming an event far beyond the sender's sensing
+        radius (+ slack) is §2.1's by-definition false alarm: dropped
+        before clustering and penalised directly."""
+        engine, voter = make_engine(CROWD)
+        reports = [
+            LocationReport(node_id=0, location=Point(95.0, 95.0)),
+        ]
+        decisions = engine.decide(reports)
+        assert decisions == []  # nothing left to cluster
+        assert voter.trust.ti(0) < 1.0
+
+    def test_unsupported_cluster_refutes_itself(self):
+        """A borderline claim that passes the gate but whose implied
+        event location has no claimant among its own event neighbours
+        is rejected without a vote, and the claimant penalised."""
+        engine, voter = make_engine(CROWD)
+        # Node 3 at (55, 55) claims (76, 55): 21 away (within the
+        # r_s + r_error = 25 gate) but more than r_s = 20 from every
+        # node, itself included.
+        reports = [
+            LocationReport(node_id=3, location=Point(76.0, 55.0)),
+        ]
+        decisions = engine.decide(reports)
+        assert len(decisions) == 1
+        assert not decisions[0].occurred
+        assert decisions[0].vote is None
+        assert voter.trust.ti(3) < 1.0
+
+    def test_localisation_error_helper(self):
+        engine, _ = make_engine(CROWD)
+        reports = [
+            LocationReport(node_id=i, location=Point(51.0, 50.0))
+            for i in CROWD
+        ]
+        d = engine.decide(reports)[0]
+        assert d.localisation_error(Point(50.0, 50.0)) == pytest.approx(1.0)
+
+
+class TestTrustIntegration:
+    def test_losing_reporters_are_penalized(self):
+        engine, voter = make_engine(CROWD)
+        reports = [LocationReport(node_id=0, location=Point(50.0, 50.0))]
+        engine.decide(reports)
+        assert voter.trust.ti(0) < 1.0
+        assert voter.trust.ti(1) == 1.0
+
+    def test_trusted_minority_beats_untrusted_majority_on_location(self):
+        table = TrustTable(
+            TrustParameters(lam=0.25, fault_rate=0.1), node_ids=CROWD.keys()
+        )
+        for _ in range(8):
+            for liar in (2, 3, 4):
+                table.penalize(liar)
+        engine, _ = make_engine(CROWD, voter=CtiVoter(table))
+        reports = [
+            LocationReport(node_id=0, location=Point(50.0, 50.0)),
+            LocationReport(node_id=1, location=Point(50.3, 49.8)),
+        ]
+        decisions = engine.decide(reports)
+        assert decisions[0].occurred  # 2 trusted beat 3 distrusted
+
+    def test_majority_voter_backend(self):
+        engine, _ = make_engine(CROWD, voter=MajorityVoter())
+        reports = [
+            LocationReport(node_id=i, location=Point(50.0, 50.0))
+            for i in (0, 1, 2)
+        ]
+        decisions = engine.decide(reports)
+        assert decisions[0].occurred  # 3 vs 2 headcount
+
+
+class TestValidation:
+    def test_bad_radii_rejected(self):
+        deployment = Deployment(region=Region.square(10.0))
+        voter = MajorityVoter()
+        with pytest.raises(ValueError):
+            LocationDecisionEngine(deployment, 0.0, 5.0, voter)
+        with pytest.raises(ValueError):
+            LocationDecisionEngine(deployment, 20.0, -1.0, voter)
+
+    def test_min_cluster_fraction_filters_tiny_clusters(self):
+        engine, _ = make_engine(CROWD)
+        engine.min_cluster_fraction = 0.5
+        reports = [
+            LocationReport(node_id=0, location=Point(50.0, 50.0)),
+            LocationReport(node_id=1, location=Point(50.2, 50.1)),
+            LocationReport(node_id=2, location=Point(50.1, 49.9)),
+            LocationReport(node_id=3, location=Point(90.0, 90.0)),
+        ]
+        decisions = engine.decide(reports)
+        assert len(decisions) == 1  # the singleton cluster was suppressed

@@ -1,0 +1,56 @@
+"""Tests for the rotating-network extension sweep (experiment 4)."""
+
+import pytest
+
+from repro.experiments.experiment4 import (
+    Experiment4Config,
+    rotating_sweep,
+    run_point,
+)
+
+TINY = Experiment4Config(
+    n_nodes=25,
+    field_side=50.0,
+    events_per_leadership=4,
+    leadership_rounds=2,
+    percent_faulty_values=(20.0, 44.0),
+    trials=1,
+)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Experiment4Config(trials=0)
+        with pytest.raises(ValueError):
+            Experiment4Config(leadership_rounds=0)
+
+
+class TestSweep:
+    def test_run_point_returns_probability(self):
+        acc = run_point(TINY, 20.0, trial=0, use_trust=True,
+                        transfer_trust=True)
+        assert 0.0 <= acc <= 1.0
+
+    def test_run_point_deterministic(self):
+        a = run_point(TINY, 20.0, 0, True, True)
+        b = run_point(TINY, 20.0, 0, True, True)
+        assert a == b
+
+    def test_sweep_produces_three_variants(self):
+        data = rotating_sweep(TINY)
+        assert set(data) == {
+            "Rotating TIBFIT",
+            "Rotating Amnesia",
+            "Rotating Baseline",
+        }
+        for series in data.values():
+            assert [p.x for p in series.points] == [20.0, 44.0]
+
+    def test_import_path_is_cycle_free(self):
+        """Importing the package then the module must not blow up."""
+        import repro.experiments
+        import repro.clusterctl
+        from repro.experiments import experiment4
+
+        assert hasattr(experiment4, "rotating_sweep")

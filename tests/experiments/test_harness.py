@@ -1,0 +1,171 @@
+"""Unit tests for the simulation harness (small, fast runs)."""
+
+import pytest
+
+from repro.experiments.harness import (
+    CompromiseOrder,
+    CorrectSpec,
+    FaultSpec,
+    SimulationRun,
+)
+
+
+def small_binary_run(**kwargs):
+    defaults = dict(
+        mode="binary",
+        n_nodes=6,
+        field_side=30.0,
+        deployment_kind="grid",
+        sensing_radius=100.0,
+        r_error=5.0,
+        lam=0.1,
+        fault_rate=0.01,
+        correct_spec=CorrectSpec(miss_rate=0.0),
+        fault_spec=FaultSpec(level=0, drop_rate=1.0),
+        channel_loss=0.0,
+        seed=3,
+    )
+    defaults.update(kwargs)
+    return SimulationRun(**defaults)
+
+
+def small_location_run(**kwargs):
+    defaults = dict(
+        mode="location",
+        n_nodes=25,
+        field_side=50.0,
+        deployment_kind="grid",
+        sensing_radius=20.0,
+        r_error=5.0,
+        lam=0.25,
+        fault_rate=0.1,
+        correct_spec=CorrectSpec(sigma=1.0),
+        fault_spec=FaultSpec(level=0, drop_rate=0.25, sigma=4.25),
+        channel_loss=0.0,
+        seed=3,
+    )
+    defaults.update(kwargs)
+    return SimulationRun(**defaults)
+
+
+class TestBinaryRuns:
+    def test_all_correct_nodes_reach_full_accuracy(self):
+        run = small_binary_run(faulty_ids=())
+        run.run(20)
+        metrics = run.metrics()
+        assert metrics.accuracy == 1.0
+        assert metrics.events_total == 20
+
+    def test_total_silence_from_all_faulty_drops_accuracy(self):
+        run = small_binary_run(faulty_ids=range(6))
+        run.run(10)
+        # Everyone drops every report: no window ever opens.
+        assert run.metrics().accuracy == 0.0
+
+    def test_minority_faulty_is_masked(self):
+        run = small_binary_run(faulty_ids=(0, 1))
+        run.run(20)
+        assert run.metrics().accuracy == 1.0
+
+    def test_faulty_trust_decays(self):
+        run = small_binary_run(faulty_ids=(0,))
+        run.run(20)
+        tis = run.trust_snapshot()
+        assert tis[0] < 0.2
+        assert all(tis[i] > 0.9 for i in range(1, 6))
+
+    def test_false_alarms_are_counted(self):
+        run = small_binary_run(
+            faulty_ids=(0, 1, 2),
+            fault_spec=FaultSpec(
+                level=0, drop_rate=0.0, false_alarm_rate=1.0
+            ),
+        )
+        run.run(10)
+        metrics = run.metrics()
+        assert metrics.quiet_windows == 10
+        # 3-vs-3 ties fail, so the spurious reports never win...
+        assert metrics.false_positive_decisions == 0
+        # ...and accuracy on real events is unharmed.
+        assert metrics.accuracy == 1.0
+
+
+class TestLocationRuns:
+    def test_clean_run_locates_all_events(self):
+        run = small_location_run(faulty_ids=())
+        run.run(15)
+        metrics = run.metrics()
+        assert metrics.accuracy == 1.0
+        assert metrics.mean_localisation_error < 2.0
+
+    def test_metrics_report_truly_faulty(self):
+        run = small_location_run(faulty_ids=(3, 7))
+        run.run(5)
+        assert run.metrics().truly_faulty_nodes == (3, 7)
+
+    def test_concurrent_batches_generate_multiple_events_per_round(self):
+        run = small_location_run(concurrent_batch=2)
+        run.run(10)
+        assert len(run.events) == 20
+
+    def test_diagnosis_isolates_liars(self):
+        run = small_location_run(
+            faulty_ids=(12,),
+            fault_spec=FaultSpec(level=0, drop_rate=1.0),
+            diagnosis_threshold=0.3,
+        )
+        run.run(25)
+        assert 12 in run.metrics().diagnosed_nodes
+
+
+class TestCompromiseSchedule:
+    def test_scheduled_compromise_flips_behavior(self):
+        run = small_binary_run(faulty_ids=())
+        run.schedule_compromise(5, [0, 1])
+        run.run(10)
+        assert run.nodes[0].is_faulty
+        assert run.metrics().truly_faulty_nodes == (0, 1)
+
+    def test_compromise_only_applies_at_round(self):
+        run = small_binary_run(faulty_ids=())
+        run.schedule_compromise(100, [0])  # beyond the run
+        run.run(5)
+        assert not run.nodes[0].is_faulty
+
+    def test_invalid_round_rejected(self):
+        run = small_binary_run()
+        with pytest.raises(ValueError):
+            run.schedule_compromise(-1, [0])
+
+
+class TestValidation:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            small_binary_run(mode="other")
+
+    def test_round_interval_must_cover_windows(self):
+        with pytest.raises(ValueError):
+            small_binary_run(round_interval=1.5, t_out=1.0)
+
+    def test_unknown_faulty_ids_rejected(self):
+        with pytest.raises(ValueError):
+            small_binary_run(faulty_ids=(99,))
+
+    def test_double_build_rejected(self):
+        run = small_binary_run()
+        run.build()
+        with pytest.raises(RuntimeError):
+            run.build()
+
+    def test_invalid_round_count_rejected(self):
+        run = small_binary_run()
+        with pytest.raises(ValueError):
+            run.run(0)
+
+    def test_determinism_same_seed_same_metrics(self):
+        a = small_location_run(faulty_ids=(1, 5, 9), seed=11)
+        a.run(10)
+        b = small_location_run(faulty_ids=(1, 5, 9), seed=11)
+        b.run(10)
+        assert a.metrics().accuracy == b.metrics().accuracy
+        assert a.trust_snapshot() == b.trust_snapshot()

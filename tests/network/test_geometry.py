@@ -1,0 +1,149 @@
+"""Unit tests for planar geometry primitives."""
+
+import math
+
+import pytest
+
+from repro.network.geometry import (
+    Point,
+    PolarOffset,
+    Region,
+    centroid,
+    distance,
+    farthest_pair,
+    midpoint,
+    pairwise_distances,
+    points_within,
+    weighted_centroid,
+)
+
+
+class TestPoint:
+    def test_distance_is_euclidean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1.5, -2.0), Point(-4.0, 7.25)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_offset_displace_roundtrip(self):
+        a = Point(10.0, 20.0)
+        b = Point(-3.5, 42.0)
+        offset = a.offset_to(b)
+        back = a.displace(offset)
+        assert back.x == pytest.approx(b.x)
+        assert back.y == pytest.approx(b.y)
+
+    def test_offset_to_self_is_zero_range(self):
+        p = Point(1.0, 1.0)
+        assert p.offset_to(p).r == 0.0
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_iter_and_tuple(self):
+        p = Point(1.0, 2.0)
+        assert tuple(p) == (1.0, 2.0)
+        assert p.as_tuple() == (1.0, 2.0)
+
+    def test_points_are_hashable_value_types(self):
+        assert Point(1, 2) == Point(1, 2)
+        assert len({Point(1, 2), Point(1, 2)}) == 1
+
+
+class TestPolarOffset:
+    def test_negative_range_rejected(self):
+        with pytest.raises(ValueError):
+            PolarOffset(r=-1.0, theta=0.0)
+
+    def test_normalised_wraps_theta(self):
+        offset = PolarOffset(r=1.0, theta=3 * math.pi)
+        norm = offset.normalised()
+        assert -math.pi < norm.theta <= math.pi
+        assert norm.theta == pytest.approx(math.pi)
+
+    def test_normalised_preserves_displacement(self):
+        origin = Point(0.0, 0.0)
+        offset = PolarOffset(r=2.0, theta=7.5)
+        a = origin.displace(offset)
+        b = origin.displace(offset.normalised())
+        assert a.x == pytest.approx(b.x)
+        assert a.y == pytest.approx(b.y)
+
+
+class TestRegion:
+    def test_square_properties(self):
+        r = Region.square(100.0)
+        assert r.width == 100.0
+        assert r.height == 100.0
+        assert r.area == 10000.0
+        assert r.center == Point(50.0, 50.0)
+
+    def test_contains_includes_boundary(self):
+        r = Region.square(10.0)
+        assert r.contains(Point(0.0, 0.0))
+        assert r.contains(Point(10.0, 10.0))
+        assert not r.contains(Point(10.01, 5.0))
+
+    def test_clamp_projects_outside_points(self):
+        r = Region.square(10.0)
+        assert r.clamp(Point(-5.0, 20.0)) == Point(0.0, 10.0)
+        assert r.clamp(Point(5.0, 5.0)) == Point(5.0, 5.0)
+
+    def test_degenerate_region_rejected(self):
+        with pytest.raises(ValueError):
+            Region(0.0, 0.0, -1.0, 5.0)
+
+    def test_nonpositive_square_rejected(self):
+        with pytest.raises(ValueError):
+            Region.square(0.0)
+
+
+class TestAggregates:
+    def test_midpoint(self):
+        assert midpoint(Point(0, 0), Point(2, 4)) == Point(1, 2)
+
+    def test_centroid_mean_of_points(self):
+        c = centroid([Point(0, 0), Point(2, 0), Point(1, 3)])
+        assert c.x == pytest.approx(1.0)
+        assert c.y == pytest.approx(1.0)
+
+    def test_centroid_empty_rejected(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_weighted_centroid_respects_weights(self):
+        c = weighted_centroid([Point(0, 0), Point(10, 0)], [3.0, 1.0])
+        assert c.x == pytest.approx(2.5)
+
+    def test_weighted_centroid_validates_lengths(self):
+        with pytest.raises(ValueError):
+            weighted_centroid([Point(0, 0)], [1.0, 2.0])
+
+    def test_weighted_centroid_rejects_zero_weight_sum(self):
+        with pytest.raises(ValueError):
+            weighted_centroid([Point(0, 0)], [0.0])
+
+    def test_pairwise_distances_sorted_and_complete(self):
+        pts = [Point(0, 0), Point(1, 0), Point(5, 0)]
+        out = pairwise_distances(pts)
+        assert len(out) == 3
+        assert [round(d) for d, _i, _j in out] == [1, 4, 5]
+        assert out[0][1:] == (0, 1)
+
+    def test_farthest_pair(self):
+        pts = [Point(0, 0), Point(1, 1), Point(10, 0), Point(2, 2)]
+        assert farthest_pair(pts) == (0, 2)
+
+    def test_farthest_pair_needs_two_points(self):
+        with pytest.raises(ValueError):
+            farthest_pair([Point(0, 0)])
+
+    def test_points_within_inclusive(self):
+        pts = [Point(0, 0), Point(3, 4), Point(6, 8)]
+        inside = points_within(Point(0, 0), 5.0, pts)
+        assert inside == [Point(0, 0), Point(3, 4)]
+
+    def test_distance_helper_matches_method(self):
+        a, b = Point(1, 2), Point(4, 6)
+        assert distance(a, b) == a.distance_to(b)

@@ -1,0 +1,72 @@
+"""Unit tests for typed message payloads."""
+
+import math
+
+import pytest
+
+from repro.network.geometry import Point, PolarOffset
+from repro.network.messages import (
+    ChAdvertisement,
+    ChDecisionAnnouncement,
+    EventReportMessage,
+    ScHDisagreement,
+    TiTableTransfer,
+)
+
+
+class TestEventReport:
+    def test_resolve_location_displaces_from_node(self):
+        report = EventReportMessage(
+            sender=1, offset=PolarOffset(r=5.0, theta=0.0)
+        )
+        loc = report.resolve_location(Point(10.0, 10.0))
+        assert loc.x == pytest.approx(15.0)
+        assert loc.y == pytest.approx(10.0)
+
+    def test_resolve_location_none_for_binary_report(self):
+        report = EventReportMessage(sender=1, offset=None)
+        assert report.resolve_location(Point(0.0, 0.0)) is None
+
+    def test_resolve_location_with_bearing(self):
+        report = EventReportMessage(
+            sender=1, offset=PolarOffset(r=2.0, theta=math.pi / 2)
+        )
+        loc = report.resolve_location(Point(0.0, 0.0))
+        assert loc.x == pytest.approx(0.0, abs=1e-12)
+        assert loc.y == pytest.approx(2.0)
+
+    def test_reports_are_frozen(self):
+        report = EventReportMessage(sender=1)
+        with pytest.raises(Exception):
+            report.sender = 2
+
+
+class TestOtherMessages:
+    def test_decision_announcement_carries_partitions(self):
+        msg = ChDecisionAnnouncement(
+            sender=100,
+            decision_id=3,
+            occurred=True,
+            reporters=(1, 2),
+            non_reporters=(3,),
+        )
+        assert 1 in msg.reporters
+        assert 3 in msg.non_reporters
+
+    def test_ti_table_transfer_defaults_empty(self):
+        msg = TiTableTransfer(sender=100)
+        assert msg.table == {}
+
+    def test_advertisement_defaults(self):
+        msg = ChAdvertisement(sender=5)
+        assert msg.round_number == 0
+        assert msg.signal_strength == 1.0
+
+    def test_disagreement_identifies_suspect(self):
+        msg = ScHDisagreement(sender=7, suspected_ch=100, decision_id=2)
+        assert msg.suspected_ch == 100
+
+    def test_message_ids_monotonically_increase(self):
+        a = ChAdvertisement(sender=1)
+        b = ChAdvertisement(sender=1)
+        assert b.message_id > a.message_id

@@ -1,0 +1,95 @@
+"""Property-based tests for the mean-field reliability predictor."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.reliability import (
+    predict_binary_reliability,
+    weighted_vote_success,
+)
+from repro.core.trust import TrustParameters
+
+probs = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+tis = st.floats(min_value=1e-6, max_value=1.0, allow_nan=False)
+pops = st.integers(min_value=0, max_value=15)
+
+
+@given(n_c=pops, n_f=pops, p=probs, q=probs, ti_c=tis, ti_f=tis)
+@settings(max_examples=100)
+def test_vote_success_is_probability(n_c, n_f, p, q, ti_c, ti_f):
+    value = weighted_vote_success(n_c, n_f, p, q, ti_c, ti_f)
+    assert 0.0 <= value <= 1.0
+
+
+@given(n_c=st.integers(min_value=1, max_value=10),
+       n_f=st.integers(min_value=1, max_value=10),
+       p=probs, q=probs,
+       ti_f_low=tis, ti_f_high=tis)
+@settings(max_examples=100)
+def test_vote_success_monotone_in_faulty_weight_when_faulty_are_silent(
+    n_c, n_f, p, q, ti_f_low, ti_f_high
+):
+    """With faulty nodes fully silent (q=0), raising their weight can
+    only hurt the reporters' side."""
+    lo, hi = sorted((ti_f_low, ti_f_high))
+    success_light = weighted_vote_success(n_c, n_f, p, 0.0, 1.0, lo)
+    success_heavy = weighted_vote_success(n_c, n_f, p, 0.0, 1.0, hi)
+    assert success_heavy <= success_light + 1e-12
+
+
+@given(n_c=st.integers(min_value=1, max_value=10),
+       n_f=st.integers(min_value=0, max_value=10),
+       p1=probs, p2=probs, q=probs, ti=tis)
+@settings(max_examples=100)
+def test_vote_success_monotone_in_correct_report_rate(
+    n_c, n_f, p1, p2, q, ti
+):
+    lo, hi = sorted((p1, p2))
+    a = weighted_vote_success(n_c, n_f, lo, q, 1.0, ti)
+    b = weighted_vote_success(n_c, n_f, hi, q, 1.0, ti)
+    assert b >= a - 1e-12
+
+
+@given(
+    lam=st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+    fr=st.floats(min_value=0.001, max_value=0.3, allow_nan=False),
+    m=st.integers(min_value=0, max_value=10),
+    rounds=st.integers(min_value=1, max_value=50),
+)
+@settings(max_examples=60, deadline=None)
+def test_recursion_state_stays_valid(lam, fr, m, rounds):
+    params = TrustParameters(lam=lam, fault_rate=fr)
+    history = predict_binary_reliability(
+        10, m, 0.01, 0.5, params, rounds
+    )
+    assert len(history) == rounds
+    for state in history:
+        assert state.v_correct >= 0.0
+        assert state.v_faulty >= 0.0
+        assert 0.0 < state.ti_correct <= 1.0
+        assert 0.0 < state.ti_faulty <= 1.0
+        assert 0.0 <= state.p_success <= 1.0
+
+
+@given(
+    m=st.integers(min_value=1, max_value=4),
+    rounds=st.integers(min_value=2, max_value=60),
+)
+@settings(max_examples=40, deadline=None)
+def test_faulty_trust_stays_below_correct_in_winning_regime(m, rounds):
+    """With a faulty *minority* (the system wins essentially every
+    vote), the mean-field accumulators never cross: each round rewards
+    the mostly-reporting correct side and penalises the half-silent
+    faulty side.
+
+    Note the converse is real, not a bug: in the contested regime
+    (m around N/2, success probability near one half) losing rounds
+    penalise the diligent reporters harder than the coin-flipping
+    liars, so correct trust *can* dip below faulty trust -- the same
+    trust-inversion the simulation shows for a sudden majority
+    compromise (see tests/integration/test_failure_injection.py).
+    """
+    params = TrustParameters(lam=0.25, fault_rate=0.01)
+    history = predict_binary_reliability(10, m, 0.01, 0.5, params, rounds)
+    for state in history:
+        assert state.ti_faulty <= state.ti_correct + 1e-9

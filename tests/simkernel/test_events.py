@@ -1,0 +1,114 @@
+"""Unit tests for the event queue's ordering and cancellation contract."""
+
+import pytest
+
+from repro.simkernel.errors import SchedulingError
+from repro.simkernel.events import EventQueue
+
+
+def _noop():
+    pass
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        order = []
+        q.push(3.0, lambda: order.append(3))
+        q.push(1.0, lambda: order.append(1))
+        q.push(2.0, lambda: order.append(2))
+        while q:
+            q.pop().fire()
+        assert order == [1, 2, 3]
+
+    def test_same_time_preserves_insertion_order(self):
+        q = EventQueue()
+        order = []
+        for i in range(10):
+            q.push(5.0, lambda i=i: order.append(i))
+        while q:
+            q.pop().fire()
+        assert order == list(range(10))
+
+    def test_priority_breaks_time_ties(self):
+        q = EventQueue()
+        order = []
+        q.push(5.0, lambda: order.append("late"), priority=1)
+        q.push(5.0, lambda: order.append("early"), priority=-1)
+        q.push(5.0, lambda: order.append("mid"), priority=0)
+        while q:
+            q.pop().fire()
+        assert order == ["early", "mid", "late"]
+
+    def test_peek_time_reports_next_live_event(self):
+        q = EventQueue()
+        first = q.push(1.0, _noop)
+        q.push(2.0, _noop)
+        assert q.peek_time() == 1.0
+        first.cancel()
+        assert q.peek_time() == 2.0
+
+    def test_peek_time_empty_is_none(self):
+        assert EventQueue().peek_time() is None
+
+
+class TestCancellation:
+    def test_cancelled_event_is_skipped(self):
+        q = EventQueue()
+        fired = []
+        handle = q.push(1.0, lambda: fired.append("a"))
+        q.push(2.0, lambda: fired.append("b"))
+        handle.cancel()
+        while q:
+            q.pop().fire()
+        assert fired == ["b"]
+
+    def test_cancel_updates_len(self):
+        q = EventQueue()
+        handle = q.push(1.0, _noop)
+        assert len(q) == 1
+        handle.cancel()
+        assert len(q) == 0
+        assert not q
+
+    def test_double_cancel_is_idempotent(self):
+        q = EventQueue()
+        handle = q.push(1.0, _noop)
+        q.push(2.0, _noop)
+        handle.cancel()
+        handle.cancel()
+        assert len(q) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_clear_empties_queue(self):
+        q = EventQueue()
+        for i in range(5):
+            q.push(float(i), _noop)
+        q.clear()
+        assert len(q) == 0
+        assert q.peek_time() is None
+
+
+class TestValidation:
+    def test_non_callable_rejected(self):
+        with pytest.raises(SchedulingError):
+            EventQueue().push(1.0, "not callable")
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(SchedulingError):
+            EventQueue().push(float("nan"), _noop)
+
+    def test_fire_passes_args_and_kwargs(self):
+        q = EventQueue()
+        seen = {}
+        q.push(
+            1.0,
+            lambda a, b=None: seen.update(a=a, b=b),
+            args=(1,),
+            kwargs={"b": 2},
+        )
+        q.pop().fire()
+        assert seen == {"a": 1, "b": 2}

@@ -1,0 +1,169 @@
+"""Unit tests for the simulator loop, clock, and timers."""
+
+import pytest
+
+from repro.simkernel.errors import SchedulingError, SimulationFinished
+from repro.simkernel.simulator import Simulator
+
+
+class TestScheduling:
+    def test_after_fires_at_relative_time(self, sim):
+        fired = []
+        sim.after(5.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_at_fires_at_absolute_time(self, sim):
+        fired = []
+        sim.at(3.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [3.0]
+
+    def test_scheduling_in_past_raises(self, sim):
+        sim.at(5.0, sim.stop)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.at(1.0, lambda: None)
+
+    def test_negative_delay_raises(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.after(-1.0, lambda: None)
+
+    def test_scheduling_at_now_is_allowed(self, sim):
+        fired = []
+
+        def outer():
+            sim.at(sim.now, lambda: fired.append("inner"))
+            fired.append("outer")
+
+        sim.after(1.0, outer)
+        sim.run()
+        assert fired == ["outer", "inner"]
+
+    def test_args_and_kwargs_forwarded(self, sim):
+        seen = []
+        sim.after(1.0, lambda a, b: seen.append((a, b)), 1, b=2)
+        sim.run()
+        assert seen == [(1, 2)]
+
+
+class TestRun:
+    def test_run_until_stops_clock_at_bound(self, sim):
+        sim.after(100.0, lambda: None)
+        end = sim.run(until=10.0)
+        assert end == 10.0
+        assert sim.now == 10.0
+        assert sim.pending == 1  # the far event is still queued
+
+    def test_run_until_advances_clock_even_with_no_events(self, sim):
+        assert sim.run(until=42.0) == 42.0
+
+    def test_stop_halts_processing(self, sim):
+        fired = []
+
+        def first():
+            fired.append(1)
+            sim.stop()
+
+        sim.after(1.0, first)
+        sim.after(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+
+    def test_simulation_finished_exception_stops_loop(self, sim):
+        fired = []
+
+        def abort():
+            fired.append("abort")
+            raise SimulationFinished
+
+        sim.after(1.0, abort)
+        sim.after(2.0, lambda: fired.append("never"))
+        sim.run()
+        assert fired == ["abort"]
+
+    def test_run_is_not_reentrant(self, sim):
+        def nested():
+            sim.run()
+
+        sim.after(1.0, nested)
+        with pytest.raises(SchedulingError):
+            sim.run()
+
+    def test_step_executes_exactly_one_event(self, sim):
+        fired = []
+        sim.after(1.0, lambda: fired.append(1))
+        sim.after(2.0, lambda: fired.append(2))
+        assert sim.step() is True
+        assert fired == [1]
+        assert sim.step() is True
+        assert fired == [1, 2]
+        assert sim.step() is False
+
+    def test_events_fired_counter(self, sim):
+        for i in range(7):
+            sim.after(float(i + 1), lambda: None)
+        sim.run()
+        assert sim.events_fired == 7
+
+    def test_determinism_same_seed_same_trace(self):
+        def build_and_run(seed):
+            s = Simulator(seed=seed)
+            out = []
+            rng = s.streams.get("x")
+            s.every(1.0, lambda: out.append(round(float(rng.random()), 9)),
+                    count=20)
+            s.run()
+            return out
+
+        assert build_and_run(7) == build_and_run(7)
+        assert build_and_run(7) != build_and_run(8)
+
+
+class TestTimers:
+    def test_every_fires_periodically(self, sim):
+        times = []
+        sim.every(2.0, lambda: times.append(sim.now), count=3)
+        sim.run()
+        assert times == [2.0, 4.0, 6.0]
+
+    def test_every_with_start(self, sim):
+        times = []
+        sim.every(1.0, lambda: times.append(sim.now), start=10.0, count=2)
+        sim.run()
+        assert times == [10.0, 11.0]
+
+    def test_timer_cancel_stops_future_ticks(self, sim):
+        times = []
+        timer = sim.every(1.0, lambda: times.append(sim.now))
+        sim.at(3.5, timer.cancel)
+        sim.run()
+        assert times == [1.0, 2.0, 3.0]
+        assert timer.cancelled
+
+    def test_timer_cancel_from_inside_callback(self, sim):
+        times = []
+        holder = {}
+
+        def tick():
+            times.append(sim.now)
+            if len(times) == 2:
+                holder["t"].cancel()
+
+        holder["t"] = sim.every(1.0, tick)
+        sim.run()
+        assert times == [1.0, 2.0]
+
+    def test_count_exhaustion_marks_cancelled(self, sim):
+        timer = sim.every(1.0, lambda: None, count=2)
+        sim.run()
+        assert timer.cancelled
+        assert timer.fired == 2
+
+    def test_invalid_interval_raises(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.every(0.0, lambda: None)
+
+    def test_invalid_count_raises(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.every(1.0, lambda: None, count=0)

@@ -1,0 +1,77 @@
+"""Unit tests for the trace log."""
+
+from repro.simkernel.trace import TraceLog, TraceRecord
+
+
+class TestEmitAndQuery:
+    def test_emit_and_read_back(self):
+        log = TraceLog()
+        log.emit(1.0, "radio.drop", reason="loss")
+        records = log.records("radio.drop")
+        assert len(records) == 1
+        assert records[0].fields["reason"] == "loss"
+        assert records[0].time == 1.0
+
+    def test_prefix_matching_is_namespace_aware(self):
+        record = TraceRecord(0.0, "radio.drop")
+        assert record.matches("radio")
+        assert record.matches("radio.drop")
+        assert not record.matches("radiometer")
+        assert not record.matches("radio.dropped")
+
+    def test_count_aggregates_under_prefix(self):
+        log = TraceLog()
+        log.emit(0.0, "radio.drop")
+        log.emit(0.0, "radio.deliver")
+        log.emit(0.0, "ch.decision")
+        assert log.count("radio") == 2
+        assert log.count("ch") == 1
+        assert log.count("nothing") == 0
+
+    def test_records_filter_by_predicate(self):
+        log = TraceLog()
+        for i in range(5):
+            log.emit(float(i), "x", value=i)
+        picked = log.records("x", predicate=lambda r: r.fields["value"] >= 3)
+        assert [r.fields["value"] for r in picked] == [3, 4]
+
+    def test_last_returns_most_recent(self):
+        log = TraceLog()
+        log.emit(1.0, "a.b", n=1)
+        log.emit(2.0, "a.c", n=2)
+        assert log.last("a").fields["n"] == 2
+        assert log.last("zzz") is None
+
+
+class TestBoundsAndDisable:
+    def test_ring_buffer_evicts_oldest(self):
+        log = TraceLog(max_records=3)
+        for i in range(5):
+            log.emit(float(i), "x", i=i)
+        assert len(log) == 3
+        assert [r.fields["i"] for r in log] == [2, 3, 4]
+
+    def test_counts_survive_eviction(self):
+        log = TraceLog(max_records=2)
+        for i in range(10):
+            log.emit(float(i), "x")
+        assert log.count("x") == 10
+
+    def test_disabled_log_still_counts(self):
+        log = TraceLog(enabled=False)
+        log.emit(0.0, "x")
+        assert log.count("x") == 1
+        assert len(log) == 0
+
+    def test_clear_resets_everything(self):
+        log = TraceLog()
+        log.emit(0.0, "x")
+        log.clear()
+        assert len(log) == 0
+        assert log.count("x") == 0
+
+    def test_invalid_capacity_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            TraceLog(max_records=0)
