@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples figures clean
+.PHONY: install test bench bench-save bench-compare examples figures clean
 
 install:
 	pip install -e '.[test]'
@@ -12,6 +12,15 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Save the kernel microbench medians as the perf baseline
+# (BENCH_kernel.json), and compare a fresh run against it -- fails on
+# a >25% regression in any bench.
+bench-save:
+	$(PYTHON) benchmarks/bench_baseline.py save
+
+bench-compare:
+	$(PYTHON) benchmarks/bench_baseline.py compare
 
 # Run every example script in sequence.
 examples:

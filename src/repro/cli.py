@@ -54,6 +54,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--events", type=int, default=None,
                        help="events per run (default: the paper's)")
     p_fig.add_argument("--seed", type=int, default=2005)
+    p_fig.add_argument("--workers", type=int, default=None,
+                       help="worker processes for the sweep grid "
+                            "(default: $TIBFIT_WORKERS, else serial); "
+                            "results are identical for any count")
 
     p_run = sub.add_parser("run", help="one ad-hoc simulation")
     p_run.add_argument("--mode", choices=("binary", "location"),
@@ -116,12 +120,13 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
 def _figure_data(args: argparse.Namespace) -> Dict[str, Series]:
     n = args.number
+    workers = getattr(args, "workers", None)
     if n in (2, 3):
         config = Experiment1Config(trials=args.trials, seed=args.seed)
         if args.events:
             config = replace(config, events_per_run=args.events)
         return (experiment1.figure2_data if n == 2
-                else experiment1.figure3_data)(config)
+                else experiment1.figure3_data)(config, workers=workers)
     if n in (4, 5, 6, 7):
         config = Experiment2Config(trials=args.trials, seed=args.seed)
         if args.events:
@@ -134,11 +139,11 @@ def _figure_data(args: argparse.Namespace) -> Dict[str, Series]:
             6: experiment2.figure6_data,
             7: experiment2.figure7_data,
         }[n]
-        return fn(config)
+        return fn(config, workers=workers)
     if n in (8, 9):
         config = Experiment3Config(trials=args.trials, seed=args.seed)
         return (experiment3.figure8_data if n == 8
-                else experiment3.figure9_data)(config)
+                else experiment3.figure9_data)(config, workers=workers)
     if n == 10:
         from repro.analysis.voting import figure10_series
 

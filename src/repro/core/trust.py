@@ -161,10 +161,16 @@ class TrustTable:
         entry.faulty_reports += 1
         return self.params.ti_of(entry.v)
 
+    # Accumulated rounding from repeated reward subtractions is bounded
+    # by ~(recovery horizon) * ulp(1) ~ 1e-11; anything below this snaps
+    # to zero so a fully repaid penalty restores TI to exactly 1.0.
+    _V_EPSILON = 1e-9
+
     def reward(self, node_id: int) -> float:
         """Credit one correct report: ``v = max(0, v - f_r)``.  Returns TI."""
         entry = self.entry(node_id)
-        entry.v = max(0.0, entry.v - self.params.reward_step)
+        v = entry.v - self.params.reward_step
+        entry.v = 0.0 if v < self._V_EPSILON else v
         entry.correct_reports += 1
         return self.params.ti_of(entry.v)
 

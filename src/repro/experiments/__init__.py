@@ -14,6 +14,9 @@
   (Figs. 4-7).
 * :mod:`repro.experiments.experiment3` -- linear network decay over time
   (Figs. 8-9).
+* :mod:`repro.experiments.runner`      -- parallel, deterministic
+  execution of the ``(point, trial)`` sweep grids over worker
+  processes.
 * :mod:`repro.experiments.reporting`   -- ASCII tables and series for
   terminal output.
 """
@@ -25,6 +28,13 @@ from repro.experiments.config import (
 )
 from repro.experiments.harness import SimulationRun
 from repro.experiments.metrics import EventOutcome, RunMetrics
+from repro.experiments.runner import (
+    SweepError,
+    SweepTask,
+    resolve_workers,
+    run_sweep,
+    sweep_series,
+)
 
 # Note: the per-experiment sweep modules (experiment1..experiment4) are
 # imported directly -- e.g. ``from repro.experiments import experiment2``
@@ -38,4 +48,9 @@ __all__ = [
     "Experiment3Config",
     "RunMetrics",
     "SimulationRun",
+    "SweepError",
+    "SweepTask",
+    "resolve_workers",
+    "run_sweep",
+    "sweep_series",
 ]

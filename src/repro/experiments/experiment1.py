@@ -16,6 +16,7 @@ import numpy as np
 from repro.experiments.config import Experiment1Config
 from repro.experiments.harness import CorrectSpec, FaultSpec, SimulationRun
 from repro.experiments.reporting import Series
+from repro.experiments.runner import ProgressFn, sweep_series
 
 
 def run_point(
@@ -52,30 +53,39 @@ def run_point(
         faulty_ids=faulty_ids,
         channel_loss=0.0,  # Experiment 1 isolates the voting model
         seed=seed,
+        tracing=False,
     )
     run.run(config.events_per_run)
     return run.metrics().accuracy
 
 
-def sweep(config: Experiment1Config) -> Series:
+def sweep(
+    config: Experiment1Config,
+    *,
+    workers: int = None,
+    progress: ProgressFn = None,
+) -> Series:
     """Accuracy vs. percent faulty for one configuration."""
     label = (
         f"NER {100 * config.correct_ner:g}% "
         f"FA {100 * config.faulty_false_alarm_rate:g}% "
         + ("TIBFIT" if config.use_trust else "Baseline")
     )
-    series = Series(label=label)
-    for pf in config.percent_faulty_values:
-        samples = [
-            run_point(config, pf, trial) for trial in range(config.trials)
-        ]
-        series.add(pf, samples)
-    return series
+    return sweep_series(
+        label,
+        run_point,
+        config,
+        config.percent_faulty_values,
+        config.trials,
+        workers=workers,
+        progress=progress,
+    )
 
 
 def figure2_data(
     base: Experiment1Config = Experiment1Config(),
     ner_values: Sequence[float] = (0.0, 0.01, 0.05),
+    workers: int = None,
 ) -> Dict[str, Series]:
     """Fig. 2: missed alarms only, one curve per correct-node NER.
 
@@ -86,7 +96,7 @@ def figure2_data(
         config = replace(
             base, correct_ner=ner, faulty_false_alarm_rate=0.0
         )
-        series = sweep(config)
+        series = sweep(config, workers=workers)
         out[series.label] = series
     return out
 
@@ -95,6 +105,7 @@ def figure3_data(
     base: Experiment1Config = Experiment1Config(),
     false_alarm_values: Sequence[float] = (0.0, 0.10, 0.75),
     ner: float = 0.01,
+    workers: int = None,
 ) -> Dict[str, Series]:
     """Fig. 3: missed + false alarms, one curve per false-alarm rate.
 
@@ -106,6 +117,6 @@ def figure3_data(
         config = replace(
             base, correct_ner=ner, faulty_false_alarm_rate=fa
         )
-        series = sweep(config)
+        series = sweep(config, workers=workers)
         out[series.label] = series
     return out

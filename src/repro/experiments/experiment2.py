@@ -19,6 +19,7 @@ import numpy as np
 from repro.experiments.config import Experiment2Config
 from repro.experiments.harness import CorrectSpec, FaultSpec, SimulationRun
 from repro.experiments.reporting import Series
+from repro.experiments.runner import ProgressFn, sweep_series
 
 
 def run_point(
@@ -54,28 +55,38 @@ def run_point(
             config.concurrent_batch if config.concurrent_events else 1
         ),
         seed=seed,
+        tracing=False,
     )
     run.run(config.events_per_run)
     return run.metrics().accuracy
 
 
-def sweep(config: Experiment2Config, label: str = None) -> Series:
+def sweep(
+    config: Experiment2Config,
+    label: str = None,
+    *,
+    workers: int = None,
+    progress: ProgressFn = None,
+) -> Series:
     """Accuracy vs. percent faulty for one configuration."""
     if label is None:
         label = config.legend("TIBFIT" if config.use_trust else "Baseline")
-    series = Series(label=label)
-    for pf in config.percent_faulty_values:
-        samples = [
-            run_point(config, pf, trial) for trial in range(config.trials)
-        ]
-        series.add(pf, samples)
-    return series
+    return sweep_series(
+        label,
+        run_point,
+        config,
+        config.percent_faulty_values,
+        config.trials,
+        workers=workers,
+        progress=progress,
+    )
 
 
 def _level_figure(
     base: Experiment2Config,
     level: int,
     sigma_pairs: Sequence[Tuple[float, float]],
+    workers: int = None,
 ) -> Dict[str, Series]:
     out: Dict[str, Series] = {}
     for sigma_c, sigma_f in sigma_pairs:
@@ -87,7 +98,7 @@ def _level_figure(
                 sigma_faulty=sigma_f,
                 use_trust=use_trust,
             )
-            series = sweep(config)
+            series = sweep(config, workers=workers)
             out[series.label] = series
     return out
 
@@ -95,18 +106,20 @@ def _level_figure(
 def figure4_data(
     base: Experiment2Config = Experiment2Config(),
     sigma_pairs: Sequence[Tuple[float, float]] = ((1.6, 4.25), (2.0, 6.0)),
+    workers: int = None,
 ) -> Dict[str, Series]:
     """Fig. 4: level-0 faulty nodes, TIBFIT vs. baseline.
 
     Expected shape: systems tie below ~40% compromised; TIBFIT wins by
     7-20 points above and holds near 80% at the top of the sweep.
     """
-    return _level_figure(base, level=0, sigma_pairs=sigma_pairs)
+    return _level_figure(base, level=0, sigma_pairs=sigma_pairs, workers=workers)
 
 
 def figure5_data(
     base: Experiment2Config = Experiment2Config(),
     sigma_pairs: Sequence[Tuple[float, float]] = ((1.6, 4.25), (2.0, 6.0)),
+    workers: int = None,
 ) -> Dict[str, Series]:
     """Fig. 5: level-1 (smart independent) faulty nodes.
 
@@ -114,24 +127,26 @@ def figure5_data(
     (the trust index forces smart liars to lie less); the baseline falls
     away past 40%.
     """
-    return _level_figure(base, level=1, sigma_pairs=sigma_pairs)
+    return _level_figure(base, level=1, sigma_pairs=sigma_pairs, workers=workers)
 
 
 def figure6_data(
     base: Experiment2Config = Experiment2Config(),
     sigma_pairs: Sequence[Tuple[float, float]] = ((1.6, 4.25), (2.0, 6.0)),
+    workers: int = None,
 ) -> Dict[str, Series]:
     """Fig. 6: level-2 (colluding) faulty nodes.
 
     Expected shape: both systems degrade substantially -- collusion is
     the hardest case -- with TIBFIT still at or above the baseline.
     """
-    return _level_figure(base, level=2, sigma_pairs=sigma_pairs)
+    return _level_figure(base, level=2, sigma_pairs=sigma_pairs, workers=workers)
 
 
 def figure7_data(
     base: Experiment2Config = Experiment2Config(),
     sigma_pair: Tuple[float, float] = (1.6, 4.25),
+    workers: int = None,
 ) -> Dict[str, Series]:
     """Fig. 7: single vs. concurrent events, level-0 TIBFIT only.
 
@@ -152,5 +167,5 @@ def figure7_data(
         label = config.legend("TIBFIT") + (
             " Concurrent" if concurrent else " Single"
         )
-        out[label] = sweep(config, label=label)
+        out[label] = sweep(config, label=label, workers=workers)
     return out

@@ -17,6 +17,7 @@ import numpy as np
 from repro.experiments.config import Experiment3Config
 from repro.experiments.harness import CorrectSpec, FaultSpec, SimulationRun
 from repro.experiments.reporting import Series
+from repro.experiments.runner import ProgressFn, SweepTask, run_sweep
 
 
 def run_decay(
@@ -52,6 +53,7 @@ def run_decay(
         faulty_ids=order[:n_initial],
         channel_loss=config.channel_loss,
         seed=seed,
+        tracing=False,
     )
 
     per_step = round(config.n_nodes * config.step_percent / 100.0)
@@ -68,11 +70,24 @@ def run_decay(
     return run.metrics().accuracy_over_windows(config.events_per_step)
 
 
-def decay_series(config: Experiment3Config, label: str = None) -> Series:
+def decay_series(
+    config: Experiment3Config,
+    label: str = None,
+    *,
+    workers: int = None,
+    progress: ProgressFn = None,
+) -> Series:
     """Mean accuracy-over-time series across ``config.trials`` runs."""
     if label is None:
         label = config.legend("TIBFIT" if config.use_trust else "Baseline")
-    per_trial = [run_decay(config, t) for t in range(config.trials)]
+    per_trial = run_sweep(
+        [
+            SweepTask(fn=run_decay, args=(config, t), trial=t)
+            for t in range(config.trials)
+        ],
+        workers=workers,
+        progress=progress,
+    )
     series = Series(label=label)
     n_windows = min(len(t) for t in per_trial)
     for w in range(n_windows):
@@ -84,6 +99,7 @@ def decay_series(config: Experiment3Config, label: str = None) -> Series:
 def _decay_figure(
     base: Experiment3Config,
     sigma_pairs: Sequence[Tuple[float, float]],
+    workers: int = None,
 ) -> Dict[str, Series]:
     out: Dict[str, Series] = {}
     for sigma_c, sigma_f in sigma_pairs:
@@ -94,7 +110,7 @@ def _decay_figure(
                 sigma_faulty=sigma_f,
                 use_trust=use_trust,
             )
-            series = decay_series(config)
+            series = decay_series(config, workers=workers)
             out[series.label] = series
     return out
 
@@ -102,6 +118,7 @@ def _decay_figure(
 def figure8_data(
     base: Experiment3Config = Experiment3Config(),
     sigma_pairs: Sequence[Tuple[float, float]] = ((1.6, 4.25), (2.0, 4.25)),
+    workers: int = None,
 ) -> Dict[str, Series]:
     """Fig. 8: decay curves at sigma_faulty 4.25.
 
@@ -109,15 +126,16 @@ def figure8_data(
     TIBFIT 2.0-4.25 eventually overtakes even baseline 1.6-4.25; and
     TIBFIT holds near 80% accuracy around 60% compromised.
     """
-    return _decay_figure(base, sigma_pairs)
+    return _decay_figure(base, sigma_pairs, workers=workers)
 
 
 def figure9_data(
     base: Experiment3Config = Experiment3Config(),
     sigma_pairs: Sequence[Tuple[float, float]] = ((1.6, 6.0), (2.0, 6.0)),
+    workers: int = None,
 ) -> Dict[str, Series]:
     """Fig. 9: decay curves at sigma_faulty 6.0 (same expectations)."""
-    return _decay_figure(base, sigma_pairs)
+    return _decay_figure(base, sigma_pairs, workers=workers)
 
 
 def percent_compromised_at(

@@ -23,6 +23,7 @@ import numpy as np
 from repro.clusterctl.leach import LeachConfig
 from repro.clusterctl.simulation import RotatingClusterSimulation
 from repro.experiments.reporting import Series
+from repro.experiments.runner import ProgressFn, SweepTask, run_sweep
 from repro.sensors.specs import CorrectSpec, FaultSpec
 
 
@@ -93,6 +94,7 @@ def run_point(
         channel_loss=0.0,
         transfer_trust=transfer_trust,
         seed=seed,
+        tracing=False,
     )
     sim.run(config.leadership_rounds)
     return sim.metrics().accuracy
@@ -100,21 +102,38 @@ def run_point(
 
 def rotating_sweep(
     config: Experiment4Config = Experiment4Config(),
+    *,
+    workers: int = None,
+    progress: ProgressFn = None,
 ) -> Dict[str, Series]:
-    """The three-configuration sweep described in the module docstring."""
+    """The three-configuration sweep described in the module docstring.
+
+    All three variants' ``(point, trial)`` grids are flattened into one
+    task list so a worker pool stays saturated across variants.
+    """
     variants = {
         "Rotating TIBFIT": (True, True),
         "Rotating Amnesia": (True, False),
         "Rotating Baseline": (False, True),
     }
+    tasks = [
+        SweepTask(
+            fn=run_point,
+            args=(config, pf, trial, use_trust, transfer),
+            point=pf,
+            trial=trial,
+        )
+        for use_trust, transfer in variants.values()
+        for pf in config.percent_faulty_values
+        for trial in range(config.trials)
+    ]
+    samples = run_sweep(tasks, workers=workers, progress=progress)
     out: Dict[str, Series] = {}
-    for label, (use_trust, transfer) in variants.items():
+    cursor = 0
+    for label in variants:
         series = Series(label=label)
         for pf in config.percent_faulty_values:
-            samples = [
-                run_point(config, pf, trial, use_trust, transfer)
-                for trial in range(config.trials)
-            ]
-            series.add(pf, samples)
+            series.add(pf, samples[cursor : cursor + config.trials])
+            cursor += config.trials
         out[label] = series
     return out

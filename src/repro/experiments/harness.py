@@ -35,6 +35,7 @@ from repro.sensors.specs import (
 from repro.sensors.node import SensorNode
 from repro.sensors.sensing import SensingConfig, SensingModel
 from repro.simkernel.simulator import Simulator
+from repro.simkernel.trace import noop_trace
 from repro.experiments.metrics import RunMetrics, score_run
 
 
@@ -92,6 +93,9 @@ class SimulationRun:
         batch members kept at least ``r_error`` apart).
     seed:
         Master seed; every stream derives from it.
+    tracing:
+        Disable to run with a no-op trace log; sweep runners do this so
+        the per-event emit call sites cost only an attribute check.
     """
 
     CH_ID_OFFSET = 10_000
@@ -117,6 +121,7 @@ class SimulationRun:
         diagnosis_threshold: Optional[float] = None,
         concurrent_batch: int = 1,
         seed: int = 0,
+        tracing: bool = True,
     ) -> None:
         if mode not in ("binary", "location"):
             raise ValueError(f"mode must be 'binary' or 'location', got {mode!r}")
@@ -150,6 +155,7 @@ class SimulationRun:
         self.diagnosis_threshold = diagnosis_threshold
         self.concurrent_batch = concurrent_batch
         self.seed = seed
+        self.tracing = tracing
 
         self._compromises: List[CompromiseOrder] = []
         self._round_index = 0
@@ -197,7 +203,10 @@ class SimulationRun:
         self._built = True
 
         region = Region.square(self.field_side)
-        self.sim = Simulator(seed=self.seed)
+        self.sim = Simulator(
+            seed=self.seed,
+            trace=None if self.tracing else noop_trace(),
+        )
         self.channel = RadioChannel(
             self.sim, ChannelConfig(loss_probability=self.channel_loss)
         )
@@ -268,9 +277,13 @@ class SimulationRun:
         return make_correct_behavior(self.correct_spec, sensing)
 
     def _make_faulty_behavior(
-        self, sensing: SensingModel, node_id: int
+        self,
+        sensing: SensingModel,
+        node_id: int,
+        spec: Optional[FaultSpec] = None,
     ) -> NodeBehavior:
-        spec = self.fault_spec
+        if spec is None:
+            spec = self.fault_spec
         coordinator = None
         if spec.level == 2:
             if self._coordinator is None:
@@ -346,12 +359,9 @@ class SimulationRun:
                 node = self.nodes.get(node_id)
                 if node is None:
                     continue
-                saved_spec = self.fault_spec
-                self.fault_spec = order.spec
                 behavior = self._make_faulty_behavior(
-                    self._sensing_correct, node_id
+                    self._sensing_correct, node_id, spec=order.spec
                 )
-                self.fault_spec = saved_spec
                 node.compromise(behavior)
                 self._ever_faulty.add(node_id)
                 assert self.sim is not None

@@ -1,0 +1,214 @@
+"""Parallel execution of experiment sweeps.
+
+Every figure in the paper is a grid of *independent* simulations --
+``(config, sweep point, trial)`` triples whose seeds are derived from
+the triple itself, never from execution order.  That makes the grid
+embarrassingly parallel: this module fans it out over a
+``ProcessPoolExecutor`` while guaranteeing that the assembled results
+are **bit-identical** to the serial path.
+
+Determinism contract
+--------------------
+* Each :class:`SweepTask` is a pure function of its arguments (the
+  experiment ``run_point``/``run_decay`` functions derive every seed
+  from ``(config, point, trial)``).
+* :func:`run_sweep` returns results in *task order*, regardless of the
+  order workers complete them.
+
+Therefore ``run_sweep(tasks, workers=1)`` and ``run_sweep(tasks,
+workers=N)`` produce identical output for any ``N`` -- asserted by
+``tests/experiments/test_runner.py``.
+
+Workers default to the ``TIBFIT_WORKERS`` environment variable (falling
+back to serial), so ``TIBFIT_WORKERS=8 tibfit-repro fig 4`` parallelises
+every sweep without touching per-call arguments.  The pool uses the
+``spawn`` start method: workers re-import ``repro`` instead of forking
+interpreter state, which keeps them safe under threads and identical
+across platforms.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.experiments.reporting import Series
+
+WORKERS_ENV = "TIBFIT_WORKERS"
+
+#: A progress callback receives ``(done, total)`` after each task (serial)
+#: or each completed chunk (parallel).
+ProgressFn = Callable[[int, int], None]
+
+
+class SweepError(RuntimeError):
+    """A sweep task failed; the message identifies ``(point, trial)``.
+
+    When the failure happened in a worker process the original traceback
+    is embedded in the message (exception chaining does not survive
+    pickling across the process boundary).
+    """
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One picklable unit of sweep work: ``fn(*args)``.
+
+    ``fn`` must be an importable module-level function (spawn-safe
+    pickling is by reference) and ``args`` must pickle -- the frozen
+    experiment config dataclasses all do.  ``point`` and ``trial`` are
+    identity metadata for error reports and progress display; the seed
+    derivation lives inside ``fn`` itself, so a task's result is
+    independent of where and when it runs.
+    """
+
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    point: float = 0.0
+    trial: int = 0
+
+    def run(self) -> Any:
+        return self.fn(*self.args)
+
+    def identity(self) -> str:
+        return f"point={self.point:g}, trial={self.trial}"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Effective worker count: explicit arg, else ``TIBFIT_WORKERS``, else 1."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def _run_chunk(chunk: Sequence[SweepTask]) -> List[Any]:
+    """Worker-side execution of one contiguous chunk of tasks."""
+    out: List[Any] = []
+    for task in chunk:
+        try:
+            out.append(task.run())
+        except Exception:
+            raise SweepError(
+                f"sweep task failed at {task.identity()} "
+                f"({getattr(task.fn, '__module__', '?')}."
+                f"{getattr(task.fn, '__qualname__', '?')})\n"
+                f"{traceback.format_exc()}"
+            ) from None
+    return out
+
+
+def run_sweep(
+    tasks: Sequence[SweepTask],
+    *,
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+) -> List[Any]:
+    """Execute every task, returning results in task order.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``None`` reads ``TIBFIT_WORKERS`` (default 1).
+        ``workers=1`` runs inline with no pool, no pickling.
+    chunksize:
+        Tasks per worker dispatch (default: spread the grid about four
+        chunks per worker to amortise task pickling without starving
+        the pool at the tail).
+    progress:
+        Optional ``(done, total)`` callback.
+
+    Raises
+    ------
+    SweepError
+        If any task raises; the failing task's ``(point, trial)`` is in
+        the message and, on the serial path, the original exception is
+        chained as ``__cause__``.
+    """
+    tasks = list(tasks)
+    total = len(tasks)
+    n_workers = resolve_workers(workers)
+    if n_workers == 1 or total <= 1:
+        results: List[Any] = []
+        for done, task in enumerate(tasks, start=1):
+            try:
+                results.append(task.run())
+            except SweepError:
+                raise
+            except Exception as exc:
+                raise SweepError(
+                    f"sweep task failed at {task.identity()}: {exc!r}"
+                ) from exc
+            if progress is not None:
+                progress(done, total)
+        return results
+
+    if chunksize is None:
+        chunksize = max(1, total // (n_workers * 4))
+    chunks = [
+        (start, tasks[start : start + chunksize])
+        for start in range(0, total, chunksize)
+    ]
+    results = [None] * total
+    done = 0
+    context = multiprocessing.get_context("spawn")
+    with ProcessPoolExecutor(
+        max_workers=min(n_workers, len(chunks)), mp_context=context
+    ) as pool:
+        pending = {
+            pool.submit(_run_chunk, chunk): (start, len(chunk))
+            for start, chunk in chunks
+        }
+        while pending:
+            finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in finished:
+                start, length = pending.pop(future)
+                chunk_results = future.result()  # raises SweepError on failure
+                results[start : start + length] = chunk_results
+                done += length
+                if progress is not None:
+                    progress(done, total)
+    return results
+
+
+def sweep_series(
+    label: str,
+    fn: Callable[..., float],
+    config: Any,
+    points: Sequence[float],
+    trials: int,
+    *,
+    workers: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+) -> Series:
+    """Run the ``(point, trial)`` grid of ``fn(config, point, trial)``.
+
+    This is the common shape of Experiments 1 and 2: one accuracy sample
+    per trial, aggregated into a :class:`Series` point per sweep value.
+    Trial order within each point is preserved, so the series is
+    bit-identical to the historical serial double loop.
+    """
+    tasks = [
+        SweepTask(fn=fn, args=(config, point, trial), point=point, trial=trial)
+        for point in points
+        for trial in range(trials)
+    ]
+    samples = run_sweep(tasks, workers=workers, progress=progress)
+    series = Series(label=label)
+    for i, point in enumerate(points):
+        series.add(point, samples[i * trials : (i + 1) * trials])
+    return series

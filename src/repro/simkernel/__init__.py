@@ -28,7 +28,7 @@ from repro.simkernel.errors import (
 from repro.simkernel.events import EventQueue, ScheduledEvent
 from repro.simkernel.rng import RandomStreams
 from repro.simkernel.simulator import Simulator, Timer
-from repro.simkernel.trace import TraceLog, TraceRecord
+from repro.simkernel.trace import TraceLog, TraceRecord, noop_trace
 
 __all__ = [
     "EventQueue",
@@ -41,4 +41,5 @@ __all__ = [
     "Timer",
     "TraceLog",
     "TraceRecord",
+    "noop_trace",
 ]

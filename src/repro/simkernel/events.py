@@ -10,45 +10,81 @@ defined by ``(time, priority, sequence)``:
 
 This makes every run a pure function of the seed set, which the TIBFIT
 experiments rely on for reproducibility.
+
+Hot-path notes
+--------------
+The queue sits under every simulated packet, vote, and timer, so the
+representation is tuned for per-event cost:
+
+* heap entries are plain ``(time, priority, sequence, event)`` tuples,
+  so ``heapq`` sifts compare precomputed keys in C instead of calling
+  back into a Python ``__lt__``;
+* :class:`ScheduledEvent` is a ``__slots__`` class built positionally
+  (no dataclass keyword machinery, no per-event ``__dict__``);
+* the common no-kwargs schedule stores ``kwargs=None`` and
+  :meth:`ScheduledEvent.fire` skips the ``**`` unpacking entirely.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Optional
+from typing import Any, Callable, Optional
 
 from repro.simkernel.errors import SchedulingError
 
 
-@dataclass(order=True)
 class ScheduledEvent:
     """A single entry in the event queue.
 
     Ordering is by ``(time, priority, sequence)``; the callback and its
-    arguments are excluded from comparisons.
+    arguments play no part in comparisons (the key lives in the heap
+    tuple, not on the event).
     """
 
-    time: float
-    priority: int
-    sequence: int
-    callback: Callable[..., Any] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    kwargs: dict = field(compare=False, default_factory=dict)
-    cancelled: bool = field(compare=False, default=False)
-    label: str = field(compare=False, default="")
-    _queue: Optional["EventQueue"] = field(
-        compare=False, default=None, repr=False
+    __slots__ = (
+        "time",
+        "priority",
+        "sequence",
+        "callback",
+        "args",
+        "kwargs",
+        "cancelled",
+        "label",
+        "_queue",
+        "_popped",
     )
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        label: str = "",
+        queue: Optional["EventQueue"] = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs
+        self.cancelled = False
+        self.label = label
+        self._queue = queue
+        self._popped = False
 
     def cancel(self) -> None:
         """Mark this event so the loop skips it when popped.
 
         Cancellation is O(1); the heap entry is lazily discarded on pop.
-        Cancelling twice is a no-op.
+        Cancelling twice is a no-op, and cancelling an event that has
+        already been popped (fired or about to fire) is also a no-op --
+        late cancels must not corrupt the queue's live count.
         """
-        if self.cancelled:
+        if self.cancelled or self._popped:
             return
         self.cancelled = True
         if self._queue is not None:
@@ -56,15 +92,25 @@ class ScheduledEvent:
 
     def fire(self) -> Any:
         """Invoke the callback with its stored arguments."""
+        if self.kwargs is None:
+            return self.callback(*self.args)
         return self.callback(*self.args, **self.kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ScheduledEvent(time={self.time}, priority={self.priority}, "
+            f"sequence={self.sequence}, label={self.label!r}, "
+            f"cancelled={self.cancelled})"
+        )
 
 
 class EventQueue:
     """Min-heap of :class:`ScheduledEvent` with lazy cancellation."""
 
     def __init__(self) -> None:
-        self._heap: list[ScheduledEvent] = []
-        self._counter: Iterator[int] = itertools.count()
+        # Heap of (time, priority, sequence, event) key tuples.
+        self._heap: list = []
+        self._sequence = 0
         self._live = 0
 
     def __len__(self) -> int:
@@ -93,17 +139,19 @@ class EventQueue:
             raise SchedulingError(f"callback must be callable, got {callback!r}")
         if time != time:  # NaN check
             raise SchedulingError("cannot schedule an event at time NaN")
+        sequence = self._sequence
+        self._sequence = sequence + 1
         event = ScheduledEvent(
-            time=time,
-            priority=priority,
-            sequence=next(self._counter),
-            callback=callback,
-            args=args,
-            kwargs=kwargs or {},
-            label=label,
-            _queue=self,
+            time,
+            priority,
+            sequence,
+            callback,
+            args,
+            kwargs if kwargs else None,
+            label,
+            self,
         )
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, priority, sequence, event))
         self._live += 1
         return event
 
@@ -112,21 +160,47 @@ class EventQueue:
 
         Raises ``IndexError`` when no live events remain.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
             if event.cancelled:
                 continue
+            event._popped = True
             self._live -= 1
             return event
         raise IndexError("pop from empty EventQueue")
 
+    def pop_next(self, until: Optional[float] = None) -> Optional[ScheduledEvent]:
+        """Pop the next live event in one heap pass.
+
+        Returns ``None`` when the queue is empty or when the next live
+        event fires strictly after ``until`` (which is then left queued).
+        This is the simulator loop's fused peek+pop: one call and one
+        lazy-discard scan per event instead of two.
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            event = head[3]
+            if event.cancelled:
+                heapq.heappop(heap)
+                continue
+            if until is not None and head[0] > until:
+                return None
+            heapq.heappop(heap)
+            event._popped = True
+            self._live -= 1
+            return event
+        return None
+
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def note_cancelled(self) -> None:
         """Account for an externally cancelled event (bookkeeping only)."""

@@ -160,14 +160,12 @@ class Simulator:
             raise SchedulingError("Simulator.run is not reentrant")
         self._running = True
         self._stopped = False
+        pop_next = self._queue.pop_next
         try:
-            while self._queue:
-                next_time = self._queue.peek_time()
-                if next_time is None:
+            while True:
+                event = pop_next(until)
+                if event is None:
                     break
-                if until is not None and next_time > until:
-                    break
-                event = self._queue.pop()
                 self._now = event.time
                 self._events_fired += 1
                 try:

@@ -51,20 +51,39 @@ class TraceLog:
         When False, :meth:`emit` is a near-no-op (counts only).
     max_records:
         Ring-buffer capacity; oldest records are evicted first.
+    count_when_disabled:
+        When False *and* the log is disabled, :meth:`emit` skips even
+        the category counters: the whole call is one attribute check.
+        This is the sweep-runner fast path -- thousands of simulations
+        whose traces nobody will ever query should not pay per-event
+        Counter updates.  :func:`noop_trace` builds such a log.
     """
 
-    def __init__(self, enabled: bool = True, max_records: int = 100_000) -> None:
+    def __init__(
+        self,
+        enabled: bool = True,
+        max_records: int = 100_000,
+        count_when_disabled: bool = True,
+    ) -> None:
         if max_records <= 0:
             raise ValueError("max_records must be positive")
         self.enabled = enabled
+        self.count_when_disabled = count_when_disabled
         self._records: Deque[TraceRecord] = deque(maxlen=max_records)
         self._counts: Counter = Counter()
 
+    @property
+    def _noop(self) -> bool:
+        """True when :meth:`emit` discards everything."""
+        return not self.enabled and not self.count_when_disabled
+
     def emit(self, time: float, category: str, **fields: Any) -> None:
-        """Record one entry (category counters always update)."""
-        self._counts[category] += 1
+        """Record one entry (category counters update unless no-op)."""
         if self.enabled:
+            self._counts[category] += 1
             self._records.append(TraceRecord(time, category, fields))
+        elif self.count_when_disabled:
+            self._counts[category] += 1
 
     def count(self, category_prefix: str) -> int:
         """Total emissions whose category sits at/under ``category_prefix``.
@@ -113,3 +132,12 @@ class TraceLog:
 
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self._records)
+
+
+def noop_trace() -> TraceLog:
+    """A :class:`TraceLog` that discards everything as cheaply as possible.
+
+    Sweep runners hand this to their simulators: the emit call sites all
+    stay in place, but each costs only the attribute checks.
+    """
+    return TraceLog(enabled=False, count_when_disabled=False)

@@ -83,6 +83,35 @@ class TestCancellation:
         with pytest.raises(IndexError):
             EventQueue().pop()
 
+    def test_cancel_after_pop_is_noop(self):
+        """A late cancel must not corrupt the live count (regression).
+
+        Historically cancel() on an already-popped event still called
+        note_cancelled(), draining _live below the true number of
+        queued events.
+        """
+        q = EventQueue()
+        fired = q.push(1.0, _noop)
+        q.push(2.0, _noop)
+        assert q.pop() is fired
+        assert len(q) == 1
+        fired.cancel()
+        assert len(q) == 1  # the remaining event is still live
+        assert not fired.cancelled
+        q.pop()
+        assert len(q) == 0
+
+    def test_cancel_after_pop_then_new_pushes_count_correctly(self):
+        q = EventQueue()
+        handles = [q.push(float(i), _noop) for i in range(3)]
+        for _ in range(3):
+            q.pop()
+        for h in handles:  # all late: every one must be a no-op
+            h.cancel()
+        q.push(9.0, _noop)
+        assert len(q) == 1
+        assert q.peek_time() == 9.0
+
     def test_clear_empties_queue(self):
         q = EventQueue()
         for i in range(5):
@@ -90,6 +119,25 @@ class TestCancellation:
         q.clear()
         assert len(q) == 0
         assert q.peek_time() is None
+
+
+class TestPopNext:
+    def test_pop_next_respects_until(self):
+        q = EventQueue()
+        q.push(1.0, _noop)
+        q.push(5.0, _noop)
+        assert q.pop_next(until=2.0).time == 1.0
+        assert q.pop_next(until=2.0) is None
+        assert len(q) == 1  # the 5.0 event stays queued
+        assert q.pop_next().time == 5.0
+        assert q.pop_next() is None
+
+    def test_pop_next_skips_cancelled(self):
+        q = EventQueue()
+        first = q.push(1.0, _noop)
+        q.push(2.0, _noop)
+        first.cancel()
+        assert q.pop_next().time == 2.0
 
 
 class TestValidation:

@@ -1,6 +1,6 @@
 """Unit tests for the trace log."""
 
-from repro.simkernel.trace import TraceLog, TraceRecord
+from repro.simkernel.trace import TraceLog, TraceRecord, noop_trace
 
 
 class TestEmitAndQuery:
@@ -75,3 +75,14 @@ class TestBoundsAndDisable:
 
         with pytest.raises(ValueError):
             TraceLog(max_records=0)
+
+    def test_noop_trace_discards_counts_and_records(self):
+        log = noop_trace()
+        log.emit(0.0, "x", detail=1)
+        assert len(log) == 0
+        assert log.count("x") == 0
+        assert log._noop
+
+    def test_disabled_but_counting_is_not_noop(self):
+        log = TraceLog(enabled=False)
+        assert not log._noop
