@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-save bench-compare examples figures clean
+.PHONY: install test bench bench-save bench-compare profile examples figures clean
 
 install:
 	pip install -e '.[test]'
@@ -21,6 +21,11 @@ bench-save:
 
 bench-compare:
 	$(PYTHON) benchmarks/bench_baseline.py compare
+
+# cProfile one representative Experiment 2 sweep point and print the
+# top-20 cumulative functions -- the next hot spot, one command away.
+profile:
+	PYTHONPATH=src $(PYTHON) benchmarks/profile_hotspots.py
 
 # Run every example script in sequence.
 examples:

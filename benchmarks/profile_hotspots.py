@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Profile one representative Experiment 2 sweep point.
+
+Runs a single ``(config, sweep point, trial)`` simulation -- the unit
+the parallel sweep runner fans out -- under ``cProfile`` and prints the
+top functions by cumulative time, so the next hot spot in the CH
+decision pipeline is one command away:
+
+    make profile
+    PYTHONPATH=src python benchmarks/profile_hotspots.py [--percent 30] \
+        [--events 100] [--top 20]
+
+The chosen point (level 0, 30% faulty, default event count) exercises
+the full location pipeline: report decode, circle tracking, the
+clustering heuristic, event-neighbour queries, and CTI voting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--percent",
+        type=float,
+        default=30.0,
+        help="sweep point: percent of nodes faulty (default 30)",
+    )
+    parser.add_argument(
+        "--events",
+        type=int,
+        default=100,
+        help="events simulated in the run (default 100)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        help="rows of the cumulative-time table to print (default 20)",
+    )
+    args = parser.parse_args()
+
+    from repro.experiments.config import Experiment2Config
+    from repro.experiments.experiment2 import run_point
+
+    config = Experiment2Config(events_per_run=args.events)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    accuracy = run_point(config, args.percent, trial=0)
+    profiler.disable()
+
+    print(
+        f"experiment 2, level {config.fault_level}, "
+        f"{args.percent:.0f}% faulty, {args.events} events "
+        f"-> accuracy {accuracy:.3f}\n"
+    )
+    stats = pstats.Stats(profiler)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,17 +1,32 @@
-"""Substrate microbenchmarks: DES kernel and voting throughput.
+"""Substrate microbenchmarks: DES kernel, voting, and CH geometry.
 
 Unlike the figure benches (which run once and print data), these use
 pytest-benchmark conventionally -- repeated timed rounds -- to track
-the cost of the two inner loops everything else sits on: the event
-queue and the CTI vote.  They exist so a performance regression in the
-substrate is visible before it silently stretches every experiment.
+the cost of the inner loops everything else sits on: the event queue,
+the CTI vote, the §3.2 clustering heuristic, and the event-neighbour
+query.  They exist so a performance regression in the substrate is
+visible before it silently stretches every experiment.
 """
+
+import numpy as np
 
 from repro.core.binary import CtiVoter
 from repro.core.clustering import cluster_reports
 from repro.core.trust import TrustParameters, TrustTable
-from repro.network.geometry import Point
+from repro.network.geometry import Point, Region
+from repro.network.topology import grid_deployment, uniform_random_deployment
 from repro.simkernel.simulator import Simulator
+
+
+def _report_window(n):
+    """A realistic n-report window: two true events plus ~17% liars."""
+    per_blob = (n - n // 6) // 2
+    scatter = n - 2 * per_blob
+    return (
+        [Point(20.0 + 0.1 * i, 20.0 - 0.07 * i) for i in range(per_blob)]
+        + [Point(70.0 - 0.09 * i, 60.0 + 0.11 * i) for i in range(per_blob)]
+        + [Point(7.0 * i % 97.0, 13.0 * i % 89.0) for i in range(scatter)]
+    )
 
 
 def test_kernel_event_throughput(benchmark):
@@ -67,3 +82,63 @@ def test_clustering_throughput(benchmark):
 
     clusters = benchmark(run_clustering)
     assert len(clusters) >= 2
+
+
+def test_clustering_throughput_n50(benchmark):
+    """The clustering heuristic over a 50-report window."""
+    reports = _report_window(50)
+
+    def run_clustering():
+        return cluster_reports(reports, r_error=5.0)
+
+    clusters = benchmark(run_clustering)
+    assert len(clusters) >= 2
+
+
+def test_clustering_throughput_n200(benchmark):
+    """The clustering heuristic at event-region scale (200 reports)."""
+    reports = _report_window(200)
+
+    def run_clustering():
+        return cluster_reports(reports, r_error=5.0)
+
+    clusters = benchmark(run_clustering)
+    assert len(clusters) >= 2
+
+
+def test_event_neighbors_n100(benchmark):
+    """200 event-neighbour disk queries over Experiment 2's deployment."""
+    deployment = grid_deployment(100, Region.square(100.0))
+    deployment.ensure_index(20.0)
+    queries = [
+        Point(7.0 * i % 100.0, 13.0 * i % 100.0) for i in range(200)
+    ]
+
+    def run_queries():
+        total = 0
+        for q in queries:
+            total += len(deployment.event_neighbors(q, 20.0))
+        return total
+
+    total = benchmark(run_queries)
+    assert total > 0
+
+
+def test_event_neighbors_n1000(benchmark):
+    """200 disk queries over a dense 1000-node random deployment."""
+    deployment = uniform_random_deployment(
+        1000, Region.square(100.0), np.random.default_rng(17)
+    )
+    deployment.ensure_index(20.0)
+    queries = [
+        Point(7.0 * i % 100.0, 13.0 * i % 100.0) for i in range(200)
+    ]
+
+    def run_queries():
+        total = 0
+        for q in queries:
+            total += len(deployment.event_neighbors(q, 20.0))
+        return total
+
+    total = benchmark(run_queries)
+    assert total > 0

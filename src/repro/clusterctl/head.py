@@ -167,6 +167,8 @@ class ClusterHead(NetworkNode):
     def attach(self, sim, channel) -> None:  # noqa: D102 - see base class
         super().attach(sim, channel)
         if self.config.mode == "location":
+            # The engine warms the deployment's spatial index with
+            # cell size r_s (see LocationDecisionEngine.__init__).
             self._engine = LocationDecisionEngine(
                 deployment=self.deployment,
                 sensing_radius=self.config.sensing_radius,

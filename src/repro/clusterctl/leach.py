@@ -28,6 +28,10 @@ import numpy as np
 from repro.network.geometry import Point
 from repro.network.topology import Deployment
 
+#: Node x candidate pair-count above which affiliation switches from
+#: the scalar per-node minimum to one vectorised distance matrix.
+_VECTOR_MIN_PAIRS = 256
+
 
 @dataclass(frozen=True)
 class LeachConfig:
@@ -240,11 +244,7 @@ class LeachElection:
 
         membership: Dict[int, List[int]] = {ch: [] for ch in candidates}
         if candidates:
-            for node_id in alive:
-                if node_id in membership:
-                    continue
-                home = self._strongest_signal(node_id, candidates)
-                membership[home].append(node_id)
+            self._affiliate(alive, candidates, membership)
             for members in membership.values():
                 members.sort()
 
@@ -260,6 +260,40 @@ class LeachElection:
         self.history.append(result)
         self.round_number += 1
         return result
+
+    def _affiliate(
+        self,
+        alive: List[int],
+        candidates: List[int],
+        membership: Dict[int, List[int]],
+    ) -> None:
+        """Assign every alive non-CH node to its strongest-signal CH.
+
+        Above a small work threshold the node-to-candidate distance
+        matrix is computed on flat coordinate arrays in one shot;
+        ``np.argmin``'s first-occurrence tie-break lands on the lowest
+        candidate index, and ``candidates`` is in ascending-id order
+        (it is filled while iterating ``alive``, which is sorted), so
+        the result matches :meth:`_strongest_signal`'s ``(distance,
+        id)`` minimum exactly -- distances themselves are the same
+        correctly-rounded ``sqrt(dx*dx + dy*dy)`` both ways.
+        """
+        non_ch = [n for n in alive if n not in membership]
+        if len(non_ch) * len(candidates) < _VECTOR_MIN_PAIRS:
+            for node_id in non_ch:
+                home = self._strongest_signal(node_id, candidates)
+                membership[home].append(node_id)
+            return
+        positions = self.deployment.positions
+        nx = np.array([positions[n].x for n in non_ch], dtype=np.float64)
+        ny = np.array([positions[n].y for n in non_ch], dtype=np.float64)
+        cx = np.array([positions[c].x for c in candidates], dtype=np.float64)
+        cy = np.array([positions[c].y for c in candidates], dtype=np.float64)
+        dx = nx[:, None] - cx[None, :]
+        dy = ny[:, None] - cy[None, :]
+        homes = np.argmin(np.sqrt(dx * dx + dy * dy), axis=1)
+        for node_id, home_idx in zip(non_ch, homes.tolist()):
+            membership[candidates[home_idx]].append(node_id)
 
     def _strongest_signal(self, node_id: int, candidates: List[int]) -> int:
         """Affiliation choice: strongest received advertisement.

@@ -19,6 +19,7 @@ Two circles overlap when their centres are closer than ``2 * r_error``.
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -94,6 +95,14 @@ class CircleTracker:
         self.t_out = t_out
         self._on_group = on_group
         self._circles: Dict[int, EventCircle] = {}
+        # Flat per-open-circle centre coordinates, kept parallel to
+        # ``_open_ids`` in circle-creation order: ``on_report`` runs for
+        # every arriving report, so membership is decided on plain
+        # floats instead of chasing ``Point`` attributes through the
+        # circle objects.  Rebuilt whenever a group closes.
+        self._open_ids: List[int] = []
+        self._open_x: List[float] = []
+        self._open_y: List[float] = []
         self.circles_opened = 0
         self.groups_closed = 0
 
@@ -101,11 +110,20 @@ class CircleTracker:
     # Input
     # ------------------------------------------------------------------
     def on_report(self, report: LocationReport) -> EventCircle:
-        """Route one arriving report to its circle (opening one if needed)."""
-        for circle in self._circles.values():
-            if not circle.closed and circle.contains(
-                report.location, self.r_error
-            ):
+        """Route one arriving report to its circle (opening one if needed).
+
+        Scans open-circle centres in creation order (the same order the
+        circle dict iterates) and joins the first circle containing the
+        report -- the flat-array mirror of ``EventCircle.contains``.
+        """
+        x = report.location.x
+        y = report.location.y
+        r_error = self.r_error
+        for pos, circle_id in enumerate(self._open_ids):
+            dx = self._open_x[pos] - x
+            dy = self._open_y[pos] - y
+            if math.sqrt(dx * dx + dy * dy) <= r_error:
+                circle = self._circles[circle_id]
                 circle.reports.append(report)
                 return circle
         return self._open_circle(report)
@@ -136,6 +154,9 @@ class CircleTracker:
         )
         circle.reports.append(report)
         self._circles[circle.circle_id] = circle
+        self._open_ids.append(circle.circle_id)
+        self._open_x.append(circle.center.x)
+        self._open_y.append(circle.center.y)
         self.circles_opened += 1
         self._sim.at(
             circle.expires_at,
@@ -162,6 +183,18 @@ class CircleTracker:
             return
         self._close_group(circle)
 
+    def _rebuild_open(self) -> None:
+        """Refresh the flat centre lists after circles close.
+
+        ``_circles`` holds only open circles (closed ones are deleted in
+        the same step that marks them), and dict deletion preserves the
+        insertion order of the survivors, so this recovers exactly the
+        scan order ``on_report`` needs.
+        """
+        self._open_ids = list(self._circles)
+        self._open_x = [c.center.x for c in self._circles.values()]
+        self._open_y = [c.center.y for c in self._circles.values()]
+
     def _overlap_component(self, seed: EventCircle) -> List[EventCircle]:
         """Transitive closure of circle overlap containing ``seed``."""
         component = {seed.circle_id: seed}
@@ -183,6 +216,7 @@ class CircleTracker:
             circle.closed = True
             merged.extend(circle.reports)
             del self._circles[circle.circle_id]
+        self._rebuild_open()
         merged.sort(key=lambda r: (r.time, r.node_id))
         self.groups_closed += 1
         self._sim.trace.emit(

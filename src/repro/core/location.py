@@ -119,6 +119,10 @@ class LocationDecisionEngine:
         self.r_error = r_error
         self.voter = voter
         self.min_cluster_fraction = min_cluster_fraction
+        # Warm the spatial index with r_s as the grid cell size: every
+        # per-cluster event-neighbour query is a disk of exactly this
+        # radius, so a query touches at most a 3x3 block of cells.
+        deployment.ensure_index(sensing_radius)
 
     def decide(
         self,

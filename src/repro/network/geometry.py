@@ -22,8 +22,21 @@ class Point:
     y: float
 
     def distance_to(self, other: "Point") -> float:
-        """Euclidean distance to ``other``."""
-        return math.hypot(self.x - other.x, self.y - other.y)
+        """Euclidean distance to ``other``.
+
+        Computed as ``sqrt(dx*dx + dy*dy)`` rather than ``math.hypot``:
+        every step is a single correctly-rounded IEEE-754 operation, so
+        the vectorised fast paths (``numpy`` broadcasting the identical
+        expression) produce bit-identical distances and therefore
+        identical comparison outcomes.  ``math.hypot``'s extra-precise
+        algorithm differs from ``np.hypot`` in the last ulp on ~0.6% of
+        inputs, which would make scalar/vector equivalence impossible.
+        Coordinates are bounded by the deployment region, so the
+        overflow resistance ``hypot`` buys is never needed here.
+        """
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return math.sqrt(dx * dx + dy * dy)
 
     def offset_to(self, other: "Point") -> "PolarOffset":
         """Polar offset such that ``self.displace(offset) == other``."""
@@ -169,18 +182,14 @@ def weighted_centroid(
     return Point(sx / total, sy / total)
 
 
-def pairwise_distances(points: Sequence[Point]) -> List[Tuple[float, int, int]]:
-    """All pairwise distances as ``(distance, i, j)`` triples, sorted.
+def coords(points: Sequence[Point]) -> Tuple[List[float], List[float]]:
+    """Split a point sequence into parallel ``(xs, ys)`` coordinate lists.
 
-    The clustering heuristic's step 1 computes and sorts all pairwise
-    distances between event reports; this helper implements that.
+    The flat-array fast paths (clustering, neighbour queries) operate on
+    coordinate arrays instead of :class:`Point` objects; this is the
+    boundary conversion.
     """
-    out: List[Tuple[float, int, int]] = []
-    for i in range(len(points)):
-        for j in range(i + 1, len(points)):
-            out.append((points[i].distance_to(points[j]), i, j))
-    out.sort(key=lambda t: (t[0], t[1], t[2]))
-    return out
+    return [p.x for p in points], [p.y for p in points]
 
 
 def farthest_pair(points: Sequence[Point]) -> Tuple[int, int]:

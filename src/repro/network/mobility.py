@@ -143,8 +143,10 @@ class RandomWaypointMobility:
                 here.x + (motion.waypoint.x - here.x) * frac,
                 here.y + (motion.waypoint.y - here.y) * frac,
             )
-        # Deployment.add validates region membership; move in place.
-        self.deployment.positions[node_id] = new_pos
+        # Deployment.move skips add()'s region validation (waypoints are
+        # in-region, the region is convex) and invalidates the spatial
+        # index so neighbour queries never see stale coordinates.
+        self.deployment.move(node_id, new_pos)
         if self._on_move is not None:
             self._on_move(node_id, new_pos)
 
@@ -197,6 +199,8 @@ class PositionTracker:
             self._snapshot.positions[node_id] = self.truth.position_of(
                 node_id
             )
+        # Mutated positions directly (bulk copy); drop the cached index.
+        self._snapshot.invalidate_index()
 
     def start(self, sim: Simulator) -> None:
         """Begin periodic refreshes (no-op in live mode)."""

@@ -5,6 +5,19 @@ every node neighbours every event; Experiment 2 places "100 nodes ...
 uniformly on a 100x100 grid" (§4.2).  This module provides both
 deployments plus the event-neighbour query (§2: nodes within detection
 range ``r_s`` of an event are its *event neighbours*).
+
+Neighbourhood queries are backed by a lazily built grid-bucket spatial
+index (:class:`_SpatialGrid`): node ids and coordinates are cached as
+flat numpy arrays, bucketed into square cells of roughly the sensing
+radius, and a disk query touches only the cells its bounding box
+overlaps.  The cache is invalidated whenever the deployment mutates
+(:meth:`Deployment.add` / :meth:`Deployment.remove` /
+:meth:`Deployment.move`), so faulty-node isolation and mobility stay
+correct; code that mutates ``positions`` directly must call
+:meth:`Deployment.invalidate_index`.  Every query is bit-identical to
+the scalar ``distance_to`` scan -- the same correctly-rounded
+``sqrt(dx*dx + dy*dy)`` expression decides membership, and tie order in
+:meth:`Deployment.nearest` is ``(distance, id)`` in both paths.
 """
 
 from __future__ import annotations
@@ -16,6 +29,70 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.network.geometry import Point, Region
+
+#: Node-count crossover below which queries use the plain dict scan --
+#: numpy array construction and ufunc dispatch cost more than the loop.
+#: Measured on this container the paths break even at ~64 nodes.
+_INDEX_MIN_NODES = 64
+
+
+class _SpatialGrid:
+    """Immutable grid-bucket snapshot of a deployment's positions.
+
+    ``ids`` is sorted ascending with ``xs`` / ``ys`` aligned, so a
+    boolean mask over the full arrays yields ids already in sorted
+    order.  ``buckets`` maps integer cell coordinates (``floor(x /
+    cell)``, ``floor(y / cell)``) to index arrays into those flat
+    arrays.
+    """
+
+    __slots__ = ("cell", "ids", "xs", "ys", "buckets")
+
+    def __init__(self, positions: Dict[int, Point], cell: float) -> None:
+        if cell <= 0:
+            raise ValueError(f"cell size must be positive, got {cell}")
+        self.cell = cell
+        ids = sorted(positions)
+        self.ids = np.array(ids, dtype=np.int64)
+        self.xs = np.array([positions[i].x for i in ids], dtype=np.float64)
+        self.ys = np.array([positions[i].y for i in ids], dtype=np.float64)
+        buckets: Dict[Tuple[int, int], List[int]] = {}
+        for idx, node_id in enumerate(ids):
+            p = positions[node_id]
+            key = (math.floor(p.x / cell), math.floor(p.y / cell))
+            buckets.setdefault(key, []).append(idx)
+        self.buckets = {
+            key: np.array(members, dtype=np.intp)
+            for key, members in buckets.items()
+        }
+
+    def disk_candidates(
+        self, x: float, y: float, radius: float
+    ) -> Optional[np.ndarray]:
+        """Index array of nodes in cells overlapping the disk's bbox.
+
+        Returns ``None`` when the bbox covers at least as many cells as
+        exist -- the caller should scan the full arrays directly (same
+        work, no gather overhead).
+        """
+        cell = self.cell
+        gx0 = math.floor((x - radius) / cell)
+        gx1 = math.floor((x + radius) / cell)
+        gy0 = math.floor((y - radius) / cell)
+        gy1 = math.floor((y + radius) / cell)
+        if (gx1 - gx0 + 1) * (gy1 - gy0 + 1) >= len(self.buckets):
+            return None
+        chunks = []
+        for gx in range(gx0, gx1 + 1):
+            for gy in range(gy0, gy1 + 1):
+                members = self.buckets.get((gx, gy))
+                if members is not None:
+                    chunks.append(members)
+        if not chunks:
+            return np.empty(0, dtype=np.intp)
+        if len(chunks) == 1:
+            return chunks[0]
+        return np.concatenate(chunks)
 
 
 @dataclass
@@ -33,6 +110,12 @@ class Deployment:
 
     region: Region
     positions: Dict[int, Point] = field(default_factory=dict)
+    _grid: Optional[_SpatialGrid] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _preferred_cell: Optional[float] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.positions)
@@ -57,10 +140,71 @@ class Deployment:
                 f"position {position} outside region {self.region}"
             )
         self.positions[node_id] = position
+        self._grid = None
 
     def remove(self, node_id: int) -> None:
-        """Remove a node from the deployment (isolation of faulty nodes)."""
-        self.positions.pop(node_id, None)
+        """Remove a node from the deployment (isolation of faulty nodes).
+
+        Raises ``KeyError`` for an unknown id: isolation acting on a
+        node that is not deployed indicates a bookkeeping bug upstream
+        and must not pass silently.
+        """
+        if node_id not in self.positions:
+            raise KeyError(node_id)
+        del self.positions[node_id]
+        self._grid = None
+
+    def move(self, node_id: int, position: Point) -> None:
+        """Update an existing node's position (mobility fast path).
+
+        Unlike :meth:`add` this does not validate region membership:
+        mobility interpolates between in-region waypoints, so staying
+        inside the (convex) region is the caller's invariant.  Raises
+        ``KeyError`` for an unknown id.
+        """
+        if node_id not in self.positions:
+            raise KeyError(node_id)
+        self.positions[node_id] = position
+        self._grid = None
+
+    def invalidate_index(self) -> None:
+        """Drop the cached spatial index.
+
+        Must be called by any code that mutates ``positions`` directly
+        instead of going through :meth:`add` / :meth:`remove` /
+        :meth:`move`.
+        """
+        self._grid = None
+
+    def ensure_index(self, cell_size: float) -> None:
+        """Pre-build the grid index with the given cell size.
+
+        Cluster heads call this with their sensing radius ``r_s`` --
+        the cell size that makes an event-neighbour disk query touch a
+        handful of cells.  The index is still built lazily on first
+        query if this is never called.
+        """
+        if cell_size <= 0:
+            raise ValueError(
+                f"cell_size must be positive, got {cell_size}"
+            )
+        self._preferred_cell = cell_size
+        if self._grid is None or self._grid.cell != cell_size:
+            self._grid = _SpatialGrid(self.positions, cell_size)
+
+    def _index(self, default_cell: float) -> _SpatialGrid:
+        """The current grid, built on demand after any invalidation."""
+        if self._grid is None:
+            cell = self._preferred_cell
+            if cell is None or cell <= 0:
+                cell = default_cell
+            self._grid = _SpatialGrid(self.positions, cell)
+        return self._grid
+
+    def _fallback_cell(self) -> float:
+        """Cell size used when no radius hint is available."""
+        extent = max(self.region.width, self.region.height)
+        return extent / 8.0 if extent > 0 else 1.0
 
     def event_neighbors(
         self, event_location: Point, sensing_radius: float
@@ -71,21 +215,77 @@ class Deployment:
         """
         if sensing_radius < 0:
             raise ValueError("sensing_radius must be non-negative")
+        if len(self.positions) < _INDEX_MIN_NODES:
+            return self._event_neighbors_scalar(
+                event_location, sensing_radius
+            )
+        return self._event_neighbors_indexed(event_location, sensing_radius)
+
+    def _event_neighbors_scalar(
+        self, event_location: Point, sensing_radius: float
+    ) -> List[int]:
+        """Retained reference scan (also the small-n fast path)."""
         return sorted(
             node_id
             for node_id, pos in self.positions.items()
             if pos.distance_to(event_location) <= sensing_radius
         )
 
+    def _event_neighbors_indexed(
+        self, event_location: Point, sensing_radius: float
+    ) -> List[int]:
+        """Grid-bucket disk query; bit-identical to the scalar scan."""
+        grid = self._index(
+            sensing_radius if sensing_radius > 0 else self._fallback_cell()
+        )
+        x = event_location.x
+        y = event_location.y
+        candidates = grid.disk_candidates(x, y, sensing_radius)
+        if candidates is None:
+            xs, ys, ids = grid.xs, grid.ys, grid.ids
+        else:
+            if not len(candidates):
+                return []
+            xs = grid.xs[candidates]
+            ys = grid.ys[candidates]
+            ids = grid.ids[candidates]
+        dx = xs - x
+        dy = ys - y
+        hit = ids[np.sqrt(dx * dx + dy * dy) <= sensing_radius]
+        if candidates is None:
+            # Full arrays are id-sorted, so the mask preserved order.
+            return hit.tolist()
+        return sorted(hit.tolist())
+
     def nearest(self, location: Point, k: int = 1) -> List[int]:
         """The ``k`` node ids nearest to ``location`` (distance, id order)."""
         if k <= 0:
             raise ValueError("k must be positive")
+        if len(self.positions) < _INDEX_MIN_NODES:
+            return self._nearest_scalar(location, k)
+        return self._nearest_indexed(location, k)
+
+    def _nearest_scalar(self, location: Point, k: int) -> List[int]:
+        """Retained reference ranking (also the small-n fast path)."""
         ranked = sorted(
             self.positions.items(),
             key=lambda item: (item[1].distance_to(location), item[0]),
         )
         return [node_id for node_id, _pos in ranked[:k]]
+
+    def _nearest_indexed(self, location: Point, k: int) -> List[int]:
+        """Ranking over the cached flat arrays.
+
+        ``np.lexsort`` sorts by its last key first, so ``(ids, d)``
+        ranks by distance with id as the tie-breaker -- the scalar
+        path's ``(distance, id)`` sort key exactly.
+        """
+        grid = self._index(self._fallback_cell())
+        dx = grid.xs - location.x
+        dy = grid.ys - location.y
+        d = np.sqrt(dx * dx + dy * dy)
+        order = np.lexsort((grid.ids, d))
+        return grid.ids[order[:k]].tolist()
 
     def within(self, location: Point, radius: float) -> List[int]:
         """Alias of :meth:`event_neighbors` for general range queries."""

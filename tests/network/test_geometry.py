@@ -9,10 +9,10 @@ from repro.network.geometry import (
     PolarOffset,
     Region,
     centroid,
+    coords,
     distance,
     farthest_pair,
     midpoint,
-    pairwise_distances,
     points_within,
     weighted_centroid,
 )
@@ -124,12 +124,10 @@ class TestAggregates:
         with pytest.raises(ValueError):
             weighted_centroid([Point(0, 0)], [0.0])
 
-    def test_pairwise_distances_sorted_and_complete(self):
-        pts = [Point(0, 0), Point(1, 0), Point(5, 0)]
-        out = pairwise_distances(pts)
-        assert len(out) == 3
-        assert [round(d) for d, _i, _j in out] == [1, 4, 5]
-        assert out[0][1:] == (0, 1)
+    def test_coords_splits_points(self):
+        xs, ys = coords([Point(1.0, 2.0), Point(3.0, 4.0)])
+        assert xs == [1.0, 3.0]
+        assert ys == [2.0, 4.0]
 
     def test_farthest_pair(self):
         pts = [Point(0, 0), Point(1, 1), Point(10, 0), Point(2, 2)]

@@ -31,12 +31,30 @@ class TestDeployment:
         with pytest.raises(ValueError):
             d.add(0, Point(-1.0, 0.0))
 
-    def test_remove_is_idempotent(self, unit_region):
+    def test_remove_deletes_node(self, unit_region):
         d = Deployment(region=unit_region)
         d.add(0, Point(1.0, 2.0))
         d.remove(0)
-        d.remove(0)
         assert 0 not in d
+
+    def test_remove_unknown_id_raises(self, unit_region):
+        """Isolating a node that is not deployed is a bookkeeping bug
+        upstream and must not pass silently."""
+        d = Deployment(region=unit_region)
+        d.add(0, Point(1.0, 2.0))
+        d.remove(0)
+        with pytest.raises(KeyError):
+            d.remove(0)
+        with pytest.raises(KeyError):
+            d.remove(99)
+
+    def test_move_updates_position_and_unknown_raises(self, unit_region):
+        d = Deployment(region=unit_region)
+        d.add(0, Point(1.0, 2.0))
+        d.move(0, Point(3.0, 4.0))
+        assert d.position_of(0) == Point(3.0, 4.0)
+        with pytest.raises(KeyError):
+            d.move(1, Point(0.0, 0.0))
 
     def test_event_neighbors_by_radius(self, unit_region):
         d = Deployment(region=unit_region)
