@@ -7,11 +7,13 @@ PYTHON ?= python
 install:
 	pip install -e '.[test]'
 
+# Tier-1 verification, exactly as ROADMAP.md specifies -- PYTHONPATH
+# keeps it working without an editable install.
 test:
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -x -q
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Save the kernel microbench medians as the perf baseline
 # (BENCH_kernel.json), and compare a fresh run against it -- fails on

@@ -68,6 +68,45 @@ def test_cti_vote_throughput(benchmark):
     assert votes == 1000
 
 
+def test_cti_vote_throughput_n1000(benchmark):
+    """1000 votes over a 1000-node table: scaling of the vote gather."""
+
+    def run_votes():
+        table = TrustTable(
+            TrustParameters(lam=0.25, fault_rate=0.1),
+            node_ids=range(1000),
+        )
+        voter = CtiVoter(table)
+        reporters = list(range(600))
+        silent = list(range(600, 1000))
+        for _ in range(1000):
+            voter.decide(reporters, silent)
+        return voter.votes_taken
+
+    votes = benchmark(run_votes)
+    assert votes == 1000
+
+
+def test_below_threshold_scan_n1000(benchmark):
+    """2000 diagnosis scans over a 1000-node table with mixed trust."""
+    table = TrustTable(
+        TrustParameters(lam=0.25, fault_rate=0.1), node_ids=range(1000)
+    )
+    # Degrade a spread of nodes so the scan has real hits to collect.
+    for node_id in range(0, 1000, 7):
+        for _ in range(node_id % 11):
+            table.penalize(node_id)
+
+    def run_scans():
+        hits = 0
+        for _ in range(2000):
+            hits += len(table.below_threshold(0.5))
+        return hits
+
+    hits = benchmark(run_scans)
+    assert hits > 0
+
+
 def test_clustering_throughput(benchmark):
     """The K-means heuristic over a 60-report window."""
     # A realistic window: two true events plus scattered liars.

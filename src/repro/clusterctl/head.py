@@ -249,13 +249,11 @@ class ClusterHead(NetworkNode):
         self._binary_window_open = False
 
         excluded = set(self._excluded_set())
-        reporters = sorted(
-            {m.sender for m in reports}
-            - excluded
-        )
+        reporter_set = {m.sender for m in reports} - excluded
+        reporters = sorted(reporter_set)
         neighbors = [m for m in self.members if m not in excluded
                      and m != self.node_id]
-        non_reporters = [m for m in neighbors if m not in reporters]
+        non_reporters = [m for m in neighbors if m not in reporter_set]
         vote = self.voter.decide(reporters, non_reporters)
         self._record_decision(vote.occurred, None, tuple(reporters),
                               tuple(non_reporters))

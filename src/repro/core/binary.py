@@ -12,15 +12,17 @@ lets TIBFIT survive a compromised *majority* once enough state exists.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, NamedTuple, Tuple
 
 from repro.core.trust import TrustTable
 
 
-@dataclass(frozen=True)
-class BinaryVoteResult:
+class BinaryVoteResult(NamedTuple):
     """Outcome of one CTI vote.
+
+    A NamedTuple (rather than a dataclass) because one is constructed
+    per vote and C-level tuple construction keeps it off the hot path's
+    profile.
 
     Attributes
     ----------
@@ -97,41 +99,17 @@ class CtiVoter:
         ValueError
             If the two groups overlap (a node cannot be both).
         """
-        r = tuple(sorted(set(reporters)))
-        nr = tuple(sorted(set(non_reporters)))
-        overlap = set(r) & set(nr)
-        if overlap:
-            raise ValueError(
-                f"nodes {sorted(overlap)} appear as both reporter and "
-                "non-reporter"
+        occurred, r, nr, cti_r, cti_nr, tie, winners, losers = (
+            self.trust.cti_vote(
+                reporters,
+                non_reporters,
+                apply_updates=apply_updates,
+                tie_breaks_to_occurred=self.tie_breaks_to_occurred,
             )
-
-        cti_r = self.trust.cti(r)
-        cti_nr = self.trust.cti(nr)
-        tie = cti_r == cti_nr
-        if tie:
-            occurred = self.tie_breaks_to_occurred
-        else:
-            occurred = cti_r > cti_nr
-
-        winners = r if occurred else nr
-        losers = nr if occurred else r
-        if apply_updates:
-            for node_id in winners:
-                self.trust.reward(node_id)
-            for node_id in losers:
-                self.trust.penalize(node_id)
-
+        )
         self.votes_taken += 1
         return BinaryVoteResult(
-            occurred=occurred,
-            reporters=r,
-            non_reporters=nr,
-            cti_reporters=cti_r,
-            cti_non_reporters=cti_nr,
-            tie=tie,
-            rewarded=winners,
-            penalized=losers,
+            occurred, r, nr, cti_r, cti_nr, tie, winners, losers
         )
 
     def preview(self, reporters: Iterable[int], non_reporters: Iterable[int]) -> bool:

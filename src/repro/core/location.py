@@ -192,6 +192,7 @@ class LocationDecisionEngine:
         pushing a borderline claim just past the radius.
         """
         plausible: List[LocationReport] = []
+        liars: List[int] = []
         limit = self.sensing_radius + self.r_error
         for report in reports:
             try:
@@ -200,8 +201,10 @@ class LocationDecisionEngine:
                 continue
             if node_pos.distance_to(report.location) <= limit:
                 plausible.append(report)
-            elif hasattr(self.voter, "trust"):
-                self.voter.trust.penalize(report.node_id)
+            else:
+                liars.append(report.node_id)
+        if liars and hasattr(self.voter, "trust"):
+            self.voter.trust.penalize_many(liars)
         return plausible
 
     def _vote_cluster(
@@ -229,8 +232,7 @@ class LocationDecisionEngine:
             # itself (§2.1's out-of-radius false alarm, caught after
             # clustering).  Claimants are penalised; nobody is rewarded.
             if hasattr(self.voter, "trust"):
-                for node_id in supporters:
-                    self.voter.trust.penalize(node_id)
+                self.voter.trust.penalize_many(supporters)
             return LocatedDecision(
                 occurred=False,
                 location=cluster.center,
