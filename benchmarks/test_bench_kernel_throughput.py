@@ -15,7 +15,9 @@ from repro.core.clustering import cluster_reports
 from repro.core.trust import TrustParameters, TrustTable
 from repro.network.geometry import Point, Region
 from repro.network.topology import grid_deployment, uniform_random_deployment
+from repro.obs.registry import NULL_REGISTRY
 from repro.simkernel.simulator import Simulator
+from repro.simkernel.trace import TraceLog, noop_trace
 
 
 def _report_window(n):
@@ -143,6 +145,72 @@ def test_clustering_throughput_n200(benchmark):
 
     clusters = benchmark(run_clustering)
     assert len(clusters) >= 2
+
+
+def test_disabled_trace_emit_overhead(benchmark):
+    """50k emits against the no-op trace: must stay one attribute check.
+
+    This guards the sweep fast path -- every radio/CH emit site fires
+    through here thousands of times per simulation, so the disabled
+    path regressing from "check a flag, return" to anything that
+    allocates or hashes would stretch every sweep.
+    """
+    log = noop_trace()
+
+    def run_emits():
+        emit = log.emit
+        for i in range(50_000):
+            emit(0.0, "radio.drop", reason="loss", destination=i)
+        return len(log)
+
+    buffered = benchmark(run_emits)
+    assert buffered == 0
+    assert log._prefix_counts == {}  # nothing accumulated anywhere
+
+
+def test_disabled_metrics_emit_overhead(benchmark):
+    """50k guarded metric emits against the disabled registry.
+
+    The emit-site convention is ``if m.enabled: m.counter(...).inc()``;
+    when disabled that is one attribute read per site, mirroring the
+    no-op trace contract.
+    """
+    m = NULL_REGISTRY
+
+    def run_emits():
+        touched = 0
+        for _ in range(50_000):
+            if m.enabled:  # pragma: no cover - disabled path
+                m.counter("radio.sent").inc()
+                touched += 1
+        return touched
+
+    touched = benchmark(run_emits)
+    assert touched == 0
+    assert len(m) == 0
+
+
+def test_trace_count_indexed(benchmark):
+    """100k count() queries over a log with a wide category vocabulary.
+
+    count() is a single dict lookup via the prefix-count index; this
+    bench pins the O(1) behaviour (it used to scan every distinct
+    category per query).
+    """
+    log = TraceLog()
+    for i in range(5000):
+        log.emit(float(i), f"radio.drop.reason{i % 50}")
+        log.emit(float(i), f"ch.decision.kind{i % 30}")
+
+    def run_counts():
+        total = 0
+        for _ in range(50_000):
+            total += log.count("radio")
+            total += log.count("ch.decision")
+        return total
+
+    total = benchmark(run_counts)
+    assert total == 50_000 * 10_000
 
 
 def test_event_neighbors_n100(benchmark):

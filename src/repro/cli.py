@@ -5,10 +5,14 @@ Subcommands::
     tibfit-repro table 1|2          print a paper parameter sheet
     tibfit-repro fig N [...]        regenerate one figure's data series
     tibfit-repro run [...]          one ad-hoc simulation, metrics printed
+    tibfit-repro trace [...]        instrumented run: TI evolution,
+                                    decision timeline, JSONL artifacts
     tibfit-repro analyze baseline   eqs. 1-3 success-probability curve
     tibfit-repro analyze decay      Fig.-11 break-even roots and k_max
 
-Also reachable as ``python -m repro``.
+Also reachable as ``python -m repro``.  ``TIBFIT_PROFILE=1`` makes
+``fig`` print a per-sweep timing breakdown (see
+:mod:`repro.obs.profiling`).
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 from dataclasses import replace
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -58,22 +63,25 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the sweep grid "
                             "(default: $TIBFIT_WORKERS, else serial); "
                             "results are identical for any count")
+    p_fig.add_argument("--profile-out", type=str, default=None,
+                       help="with TIBFIT_PROFILE=1: write the sweep "
+                            "timing manifest to this JSON file")
 
     p_run = sub.add_parser("run", help="one ad-hoc simulation")
-    p_run.add_argument("--mode", choices=("binary", "location"),
-                       default="location")
-    p_run.add_argument("--nodes", type=int, default=100)
-    p_run.add_argument("--percent-faulty", type=float, default=30.0)
-    p_run.add_argument("--level", type=int, choices=(0, 1, 2), default=0)
-    p_run.add_argument("--events", type=int, default=100)
-    p_run.add_argument("--baseline", action="store_true",
-                       help="use majority voting instead of TIBFIT")
-    p_run.add_argument("--seed", type=int, default=0)
-    p_run.add_argument("--sigma-correct", type=float, default=1.6)
-    p_run.add_argument("--sigma-faulty", type=float, default=4.25)
-    p_run.add_argument("--lambda", dest="lam", type=float, default=0.25)
-    p_run.add_argument("--fault-rate", type=float, default=0.1)
-    p_run.add_argument("--diagnosis-threshold", type=float, default=None)
+    _add_run_options(p_run)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="instrumented run: TI evolution, decision timeline, artifacts",
+    )
+    _add_run_options(p_trace)
+    p_trace.add_argument("--out", type=str, default=None,
+                         help="export manifest + JSONL artifacts here")
+    p_trace.add_argument("--max-nodes", type=int, default=12,
+                         help="TI trajectories shown (lowest final TI "
+                              "first when the network is larger)")
+    p_trace.add_argument("--width", type=int, default=60,
+                         help="sparkline width in characters")
 
     p_rot = sub.add_parser(
         "rotate", help="rotating multi-cluster network run (§2)"
@@ -102,6 +110,24 @@ def _build_parser() -> argparse.ArgumentParser:
         default=[0.05, 0.1, 0.25, 0.5, 1.0],
     )
     return parser
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    """The ad-hoc simulation options shared by ``run`` and ``trace``."""
+    parser.add_argument("--mode", choices=("binary", "location"),
+                        default="location")
+    parser.add_argument("--nodes", type=int, default=100)
+    parser.add_argument("--percent-faulty", type=float, default=30.0)
+    parser.add_argument("--level", type=int, choices=(0, 1, 2), default=0)
+    parser.add_argument("--events", type=int, default=100)
+    parser.add_argument("--baseline", action="store_true",
+                        help="use majority voting instead of TIBFIT")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--sigma-correct", type=float, default=1.6)
+    parser.add_argument("--sigma-faulty", type=float, default=4.25)
+    parser.add_argument("--lambda", dest="lam", type=float, default=0.25)
+    parser.add_argument("--fault-rate", type=float, default=0.1)
+    parser.add_argument("--diagnosis-threshold", type=float, default=None)
 
 
 # ----------------------------------------------------------------------
@@ -171,17 +197,50 @@ def _cmd_fig(args: argparse.Namespace) -> int:
     x_label = {8: "events", 9: "events", 11: "k"}.get(args.number, "% faulty")
     print(f"Figure {args.number}")
     print(render_series_table(data, x_label=x_label))
+
+    from repro.experiments.runner import consume_sweep_profiles
+
+    profiles = consume_sweep_profiles()
+    if profiles:
+        for profile in profiles:
+            print(profile.render())
+        if args.profile_out is not None:
+            from repro.obs.export import build_manifest, write_json
+
+            manifest = build_manifest(
+                kind="sweep",
+                config={"figure": args.number,
+                        "sweeps": [p.summary() for p in profiles]},
+                seed=args.seed,
+                timings={
+                    "total_wall_s": sum(p.total_wall_s for p in profiles)
+                },
+                counts={
+                    "sweeps": len(profiles),
+                    "tasks": sum(len(p.tasks) for p in profiles),
+                },
+            )
+            path = write_json(Path(args.profile_out), manifest)
+            print(f"sweep profile manifest: {path}")
+    elif args.profile_out is not None:
+        print(
+            "no sweep profiles recorded "
+            "(set TIBFIT_PROFILE=1 to enable profiling)"
+        )
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _build_adhoc_run(
+    args: argparse.Namespace, observe: bool = False
+) -> SimulationRun:
+    """Assemble the ``run``/``trace`` ad-hoc simulation from CLI options."""
     n_faulty = round(args.nodes * args.percent_faulty / 100.0)
     rng = np.random.default_rng(args.seed + 12345)
     faulty = tuple(
         int(x) for x in rng.choice(args.nodes, size=n_faulty, replace=False)
     )
     field_side = 10.0 * np.sqrt(args.nodes)
-    run = SimulationRun(
+    return SimulationRun(
         mode=args.mode,
         n_nodes=args.nodes,
         field_side=float(field_side),
@@ -205,7 +264,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         channel_loss=0.008 if args.mode == "location" else 0.0,
         diagnosis_threshold=args.diagnosis_threshold,
         seed=args.seed,
+        observe=observe,
     )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    run = _build_adhoc_run(args)
     run.run(args.events)
     metrics = run.metrics()
 
@@ -228,6 +292,115 @@ def _cmd_run(args: argparse.Namespace) -> int:
         rows.append(("diagnosed nodes", str(len(metrics.diagnosed_nodes))))
         rows.append(("diagnosis recall", f"{metrics.diagnosis_recall:.3f}"))
     print(render_table(["metric", "value"], rows))
+    return 0
+
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: np.ndarray, width: int) -> str:
+    """Render values in [0, 1] as a fixed-width block-character strip."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return ""
+    if values.size > width:
+        idx = np.linspace(0, values.size - 1, width).round().astype(int)
+        values = values[idx]
+    clipped = np.clip(values, 0.0, 1.0)
+    levels = np.minimum(
+        (clipped * (len(_SPARK_CHARS) - 1) + 0.5).astype(int),
+        len(_SPARK_CHARS) - 1,
+    )
+    return "".join(_SPARK_CHARS[level] for level in levels)
+
+
+def _render_registry(snapshot: List[Dict[str, object]]) -> str:
+    """Terminal table of a metrics-registry snapshot."""
+    rows = []
+    for record in snapshot:
+        kind = record["type"]
+        if kind in ("counter", "gauge"):
+            detail = f"{record['value']:g}"
+        else:
+            detail = f"n={record['count']} mean={record['mean']:.6g}"
+            if record["count"]:
+                detail += (
+                    f" p50={record['p50']:.6g} p90={record['p90']:.6g}"
+                )
+        rows.append((str(record["name"]), str(kind), detail))
+    return render_table(["instrument", "type", "value"], rows)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    run = _build_adhoc_run(args, observe=True)
+    run.run(args.events)
+    metrics = run.metrics()
+    probe = run.probe
+    assert probe is not None
+
+    system = "Baseline (majority)" if args.baseline else "TIBFIT"
+    print(render_table(["metric", "value"], [
+        ("system", system),
+        ("mode", args.mode),
+        ("nodes", str(args.nodes)),
+        ("% faulty", f"{args.percent_faulty:g} (level {args.level})"),
+        ("events", str(metrics.events_total)),
+        ("accuracy", f"{metrics.accuracy:.3f}"),
+        ("probe samples", str(probe.n_samples)),
+    ]))
+
+    faulty = set(run.initial_faulty)
+    diagnosis_times = probe.diagnosis_times()
+    final = probe.final_tis()
+    node_ids = list(probe.node_ids())
+    if len(node_ids) > args.max_nodes:
+        node_ids.sort(key=lambda n: (final.get(n, 1.0), n))
+        shown = node_ids[: args.max_nodes]
+        print(
+            f"\nTI trajectories ({len(shown)} lowest-final-TI of "
+            f"{len(node_ids)} nodes; * = injected-faulty):"
+        )
+    else:
+        shown = sorted(node_ids)
+        print("\nTI trajectories (* = injected-faulty):")
+    for node in shown:
+        _, tis = probe.trajectory(node)
+        flag = "*" if node in faulty else " "
+        line = (
+            f"  node {node:>4}{flag} {_sparkline(tis, args.width)} "
+            f"final={final.get(node, 1.0):.3f}"
+        )
+        if node in diagnosis_times:
+            line += f" diagnosed@t={diagnosis_times[node]:g}"
+        print(line)
+
+    print("\ndecision timeline:")
+    occurred = run.registry.counter("ch.decision.occurred").value
+    rejected = run.registry.counter("ch.decision.rejected").value
+    print(
+        f"  {len(run.ch.decisions)} decisions "
+        f"({occurred:g} occurred, {rejected:g} rejected)"
+    )
+    if run.ch.diagnoser is not None:
+        for entry in run.ch.diagnoser.log:
+            print(
+                f"  t={entry.time:g}: node {entry.node_id} diagnosed "
+                f"(TI={entry.ti_at_diagnosis:.4f}, "
+                f"isolated={entry.isolated})"
+            )
+        if not run.ch.diagnoser.log:
+            print("  no nodes diagnosed")
+    else:
+        print("  diagnosis disabled (no --diagnosis-threshold)")
+
+    print("\nmetrics registry:")
+    print(_render_registry(run.registry.snapshot()))
+
+    if args.out is not None:
+        paths = run.export_artifacts(args.out)
+        print("\nartifacts:")
+        for name in sorted(paths):
+            print(f"  {name}: {paths[name]}")
     return 0
 
 
@@ -315,6 +488,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "table": _cmd_table,
         "fig": _cmd_fig,
         "run": _cmd_run,
+        "trace": _cmd_trace,
         "rotate": _cmd_rotate,
         "analyze": _cmd_analyze,
     }

@@ -156,6 +156,9 @@ class ClusterHead(NetworkNode):
 
         self.members: Tuple[int, ...] = deployment.node_ids()
         self.decisions: List[DecisionRecord] = []
+        # Optional TI time-series probe (repro.obs.probes.TrustProbe);
+        # sampled once per decision when attached.
+        self.probe = None
         self._tracker: Optional[CircleTracker] = None
         self._engine: Optional[LocationDecisionEngine] = None
         self._binary_window: List[EventReportMessage] = []
@@ -166,6 +169,8 @@ class ClusterHead(NetworkNode):
     # ------------------------------------------------------------------
     def attach(self, sim, channel) -> None:  # noqa: D102 - see base class
         super().attach(sim, channel)
+        if isinstance(self.voter, CtiVoter):
+            self.voter.metrics = sim.metrics
         if self.config.mode == "location":
             # The engine warms the deployment's spatial index with
             # cell size r_s (see LocationDecisionEngine.__init__).
@@ -295,6 +300,11 @@ class ClusterHead(NetworkNode):
             supporters=len(supporters),
             dissenters=len(dissenters),
         )
+        metrics = self.sim.metrics
+        if metrics.enabled:
+            metrics.counter(
+                "ch.decision.occurred" if occurred else "ch.decision.rejected"
+            ).inc()
         if self.diagnoser is not None:
             for entry in self.diagnoser.sweep(self.sim.now):
                 self.sim.trace.emit(
@@ -303,6 +313,12 @@ class ClusterHead(NetworkNode):
                     node=entry.node_id,
                     ti=entry.ti_at_diagnosis,
                 )
+                if metrics.enabled:
+                    metrics.counter("ch.diagnosis").inc()
+        if self.probe is not None:
+            # After vote updates and the diagnosis sweep, so the sample
+            # at a diagnosis time already shows the sub-threshold TI.
+            self.probe.sample(self.sim.now)
         if self.config.announce:
             self.broadcast(
                 ChDecisionAnnouncement(

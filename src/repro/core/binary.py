@@ -12,9 +12,11 @@ lets TIBFIT survive a compromised *majority* once enough state exists.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, Iterable, NamedTuple, Tuple
 
 from repro.core.trust import TrustTable
+from repro.obs.registry import NULL_REGISTRY
 
 
 class BinaryVoteResult(NamedTuple):
@@ -74,6 +76,10 @@ class CtiVoter:
         self.trust = trust
         self.tie_breaks_to_occurred = tie_breaks_to_occurred
         self.votes_taken = 0
+        # Instrumented callers (ClusterHead.attach) swap in a live
+        # registry; the disabled default costs one attribute check per
+        # vote, guarded by the kernel throughput bench.
+        self.metrics = NULL_REGISTRY
 
     def decide(
         self,
@@ -99,14 +105,31 @@ class CtiVoter:
         ValueError
             If the two groups overlap (a node cannot be both).
         """
-        occurred, r, nr, cti_r, cti_nr, tie, winners, losers = (
-            self.trust.cti_vote(
-                reporters,
-                non_reporters,
-                apply_updates=apply_updates,
-                tie_breaks_to_occurred=self.tie_breaks_to_occurred,
+        metrics = self.metrics
+        if metrics.enabled:
+            start = perf_counter()
+            occurred, r, nr, cti_r, cti_nr, tie, winners, losers = (
+                self.trust.cti_vote(
+                    reporters,
+                    non_reporters,
+                    apply_updates=apply_updates,
+                    tie_breaks_to_occurred=self.tie_breaks_to_occurred,
+                )
             )
-        )
+            metrics.timer("trust.vote.wall").observe(perf_counter() - start)
+            metrics.histogram("trust.vote.margin").observe(
+                abs(cti_r - cti_nr)
+            )
+            metrics.counter("trust.votes").inc()
+        else:
+            occurred, r, nr, cti_r, cti_nr, tie, winners, losers = (
+                self.trust.cti_vote(
+                    reporters,
+                    non_reporters,
+                    apply_updates=apply_updates,
+                    tie_breaks_to_occurred=self.tie_breaks_to_occurred,
+                )
+            )
         self.votes_taken += 1
         return BinaryVoteResult(
             occurred, r, nr, cti_r, cti_nr, tie, winners, losers

@@ -546,6 +546,15 @@ class TrustTable:
             for node_id, c in zip(self._ids, self._vc().tolist())
         }
 
+    def code_table_size(self) -> int:
+        """Number of interned accumulator values (code-table growth).
+
+        The observability layer samples this as a gauge: unbounded
+        growth means a workload keeps visiting fresh accumulator values
+        and the interning memos stop paying for themselves.
+        """
+        return len(self._code_v)
+
     def below_threshold(self, ti_threshold: float) -> Tuple[int, ...]:
         """Node ids whose TI has fallen strictly below ``ti_threshold``."""
         if not self._ids:
@@ -927,6 +936,10 @@ class TrustTableReference:
     def tis(self) -> Dict[int, float]:
         """Snapshot mapping of node id to current TI."""
         return {node_id: self.ti(node_id) for node_id in self._entries}
+
+    def code_table_size(self) -> int:
+        """Distinct accumulator values currently held (API parity)."""
+        return len({entry.v for entry in self._entries.values()})
 
     def below_threshold(self, ti_threshold: float) -> Tuple[int, ...]:
         """Node ids whose TI has fallen strictly below ``ti_threshold``."""

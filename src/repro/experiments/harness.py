@@ -11,7 +11,9 @@ scores the CH's decision log against ground truth.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.clusterctl.head import ClusterHead, ClusterHeadConfig
@@ -34,6 +36,14 @@ from repro.sensors.specs import (
 )
 from repro.sensors.node import SensorNode
 from repro.sensors.sensing import SensingConfig, SensingModel
+from repro.obs.export import (
+    build_manifest,
+    trace_records,
+    write_json,
+    write_jsonl,
+)
+from repro.obs.probes import TrustProbe
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 from repro.simkernel.simulator import Simulator
 from repro.simkernel.trace import noop_trace
 from repro.experiments.metrics import RunMetrics, score_run
@@ -96,6 +106,15 @@ class SimulationRun:
     tracing:
         Disable to run with a no-op trace log; sweep runners do this so
         the per-event emit call sites cost only an attribute check.
+    observe:
+        Enable the observability layer: a live
+        :class:`~repro.obs.registry.MetricsRegistry` shared by every
+        simulation entity plus a :class:`~repro.obs.probes.TrustProbe`
+        sampling the CH's TI map at every decision.  Instrumentation
+        reads state but never mutates it (and never touches an RNG), so
+        an observed run stays bit-identical to an unobserved one.
+        After :meth:`run`, :meth:`export_artifacts` serialises
+        everything to JSONL next to a manifest.
     """
 
     CH_ID_OFFSET = 10_000
@@ -122,6 +141,7 @@ class SimulationRun:
         concurrent_batch: int = 1,
         seed: int = 0,
         tracing: bool = True,
+        observe: bool = False,
     ) -> None:
         if mode not in ("binary", "location"):
             raise ValueError(f"mode must be 'binary' or 'location', got {mode!r}")
@@ -156,6 +176,12 @@ class SimulationRun:
         self.concurrent_batch = concurrent_batch
         self.seed = seed
         self.tracing = tracing
+        self.observe = observe
+        self.registry = (
+            MetricsRegistry(enabled=True) if observe else NULL_REGISTRY
+        )
+        self.probe: Optional[TrustProbe] = None
+        self.timings: Dict[str, float] = {}
 
         self._compromises: List[CompromiseOrder] = []
         self._round_index = 0
@@ -201,11 +227,13 @@ class SimulationRun:
         if self._built:
             raise RuntimeError("build() may only be called once per run")
         self._built = True
+        build_start = perf_counter()
 
         region = Region.square(self.field_side)
         self.sim = Simulator(
             seed=self.seed,
             trace=None if self.tracing else noop_trace(),
+            metrics=self.registry,
         )
         self.channel = RadioChannel(
             self.sim, ChannelConfig(loss_probability=self.channel_loss)
@@ -271,6 +299,13 @@ class SimulationRun:
                 2.0 * self.r_error if self.concurrent_batch > 1 else None
             ),
         )
+        if self.observe:
+            self.probe = TrustProbe(
+                self.ch.trust, self.registry, diagnoser=self.ch.diagnoser
+            )
+            self.ch.probe = self.probe
+            self.probe.sample(self.sim.now)  # t=0 baseline: all TI = 1.0
+        self.timings["build_s"] = perf_counter() - build_start
         return self
 
     def _make_correct_behavior(self, sensing: SensingModel) -> NodeBehavior:
@@ -313,6 +348,7 @@ class SimulationRun:
         assert self.sim is not None and self.generator is not None
         if n_rounds <= 0:
             raise ValueError(f"n_rounds must be positive, got {n_rounds}")
+        run_start = perf_counter()
 
         for round_index in range(n_rounds):
             round_time = (round_index + 1) * self.round_interval
@@ -333,6 +369,11 @@ class SimulationRun:
         assert self.ch is not None
         self.ch.flush()
         self.sim.run()
+        if self.observe:
+            assert self.probe is not None
+            self.probe.sample(self.sim.now)  # end-of-run state
+            self.sim.record_kernel_metrics()
+        self.timings["run_s"] = perf_counter() - run_start
         return self
 
     def _fire_round(self, round_index: int) -> None:
@@ -402,3 +443,72 @@ class SimulationRun:
         """Current TI of every node as held by the CH."""
         assert self.ch is not None
         return self.ch.trust.tis()
+
+    # ------------------------------------------------------------------
+    # Observability export
+    # ------------------------------------------------------------------
+    def config_dict(self) -> Dict[str, object]:
+        """The run's full configuration as a JSON-serialisable dict."""
+        return {
+            "mode": self.mode,
+            "n_nodes": self.n_nodes,
+            "field_side": self.field_side,
+            "deployment_kind": self.deployment_kind,
+            "sensing_radius": self.sensing_radius,
+            "r_error": self.r_error,
+            "lam": self.trust_params.lam,
+            "fault_rate": self.trust_params.fault_rate,
+            "use_trust": self.use_trust,
+            "correct_spec": asdict(self.correct_spec),
+            "fault_spec": asdict(self.fault_spec),
+            "faulty_ids": list(self.initial_faulty),
+            "channel_loss": self.channel_loss,
+            "t_out": self.t_out,
+            "round_interval": self.round_interval,
+            "quiet_windows": self.quiet_windows,
+            "diagnosis_threshold": self.diagnosis_threshold,
+            "concurrent_batch": self.concurrent_batch,
+            "seed": self.seed,
+        }
+
+    def export_artifacts(self, out_dir) -> Dict[str, Path]:
+        """Serialise the run's observability state to ``out_dir``.
+
+        Writes ``manifest.json``, ``metrics.jsonl``, ``trace.jsonl``
+        and ``ti_series.jsonl`` (see :mod:`repro.obs.export` for the
+        schemas).  Only meaningful after :meth:`run`; requires the run
+        to have been created with ``observe=True``.
+        """
+        if not self.observe:
+            raise RuntimeError(
+                "export_artifacts requires observe=True (no registry/probe "
+                "was attached to this run)"
+            )
+        assert self.sim is not None and self.ch is not None
+        assert self.probe is not None
+        out = Path(out_dir)
+        manifest = build_manifest(
+            kind="simulation-run",
+            config=self.config_dict(),
+            seed=self.seed,
+            timings=self.timings,
+            counts={
+                "events": len(self.events),
+                "decisions": len(self.ch.decisions),
+                "events_fired": self.sim.events_fired,
+                "trace_records": len(self.sim.trace),
+                "probe_samples": self.probe.n_samples,
+            },
+        )
+        return {
+            "manifest": write_json(out / "manifest.json", manifest),
+            "metrics": write_jsonl(
+                out / "metrics.jsonl", self.registry.snapshot()
+            ),
+            "trace": write_jsonl(
+                out / "trace.jsonl", trace_records(self.sim.trace)
+            ),
+            "ti_series": write_jsonl(
+                out / "ti_series.jsonl", self.probe.to_records()
+            ),
+        }

@@ -25,6 +25,13 @@ every sweep without touching per-call arguments.  The pool uses the
 ``spawn`` start method: workers re-import ``repro`` instead of forking
 interpreter state, which keeps them safe under threads and identical
 across platforms.
+
+Setting ``TIBFIT_PROFILE=1`` additionally wraps every task in a
+wall-clock timer with a DES/trust/clustering phase breakdown (see
+:mod:`repro.obs.profiling`); the aggregated
+:class:`~repro.obs.profiling.SweepProfile` is retrievable via
+:func:`last_sweep_profile` / :func:`consume_sweep_profiles`.  The
+wrappers only time -- profiled results stay bit-identical.
 """
 
 from __future__ import annotations
@@ -34,9 +41,19 @@ import os
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.experiments.reporting import Series
+from repro.obs.profiling import (
+    SweepProfile,
+    TaskProfile,
+    install_phase_timers,
+    phase_snapshot,
+    profiling_requested,
+    reset_phases,
+    uninstall_phase_timers,
+)
 
 WORKERS_ENV = "TIBFIT_WORKERS"
 
@@ -79,7 +96,13 @@ class SweepTask:
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
-    """Effective worker count: explicit arg, else ``TIBFIT_WORKERS``, else 1."""
+    """Effective worker count: explicit arg, else ``TIBFIT_WORKERS``, else 1.
+
+    A malformed environment value -- non-integer or less than 1 --
+    raises :class:`ValueError` naming ``TIBFIT_WORKERS``, so a typo in a
+    shell profile fails loudly instead of surfacing as a generic bound
+    error deep in a sweep.
+    """
     if workers is None:
         raw = os.environ.get(WORKERS_ENV, "").strip()
         if not raw:
@@ -90,25 +113,64 @@ def resolve_workers(workers: Optional[int] = None) -> int:
             raise ValueError(
                 f"{WORKERS_ENV} must be an integer, got {raw!r}"
             ) from None
+        if workers < 1:
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer >= 1, got {raw!r}"
+            )
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     return workers
 
 
-def _run_chunk(chunk: Sequence[SweepTask]) -> List[Any]:
-    """Worker-side execution of one contiguous chunk of tasks."""
+def _profiled_run(task: SweepTask) -> Tuple[Any, TaskProfile]:
+    """Run one task under the phase timers; timers must be installed."""
+    reset_phases()
+    start = perf_counter()
+    result = task.run()
+    wall = perf_counter() - start
+    return result, TaskProfile(
+        point=task.point,
+        trial=task.trial,
+        wall_s=wall,
+        phases=phase_snapshot(),
+    )
+
+
+def _run_chunk(
+    chunk: Sequence[SweepTask],
+) -> Tuple[List[Any], Optional[List[TaskProfile]]]:
+    """Worker-side execution of one contiguous chunk of tasks.
+
+    Workers re-check ``TIBFIT_PROFILE`` themselves (spawn inherits the
+    environment), so a profiled sweep gets per-task phase breakdowns
+    from inside the pool with no extra plumbing.
+    """
+    profile_on = profiling_requested()
     out: List[Any] = []
-    for task in chunk:
-        try:
-            out.append(task.run())
-        except Exception:
-            raise SweepError(
-                f"sweep task failed at {task.identity()} "
-                f"({getattr(task.fn, '__module__', '?')}."
-                f"{getattr(task.fn, '__qualname__', '?')})\n"
-                f"{traceback.format_exc()}"
-            ) from None
-    return out
+    profiles: Optional[List[TaskProfile]] = [] if profile_on else None
+    if profile_on:
+        install_phase_timers()
+    try:
+        for task in chunk:
+            try:
+                if profile_on:
+                    result, task_profile = _profiled_run(task)
+                    assert profiles is not None
+                    profiles.append(task_profile)
+                else:
+                    result = task.run()
+                out.append(result)
+            except Exception:
+                raise SweepError(
+                    f"sweep task failed at {task.identity()} "
+                    f"({getattr(task.fn, '__module__', '?')}."
+                    f"{getattr(task.fn, '__qualname__', '?')})\n"
+                    f"{traceback.format_exc()}"
+                ) from None
+    finally:
+        if profile_on:
+            uninstall_phase_timers()
+    return out, profiles
 
 
 def run_sweep(
@@ -142,19 +204,36 @@ def run_sweep(
     tasks = list(tasks)
     total = len(tasks)
     n_workers = resolve_workers(workers)
+    profile_on = profiling_requested()
+    sweep_profile = SweepProfile(workers=n_workers) if profile_on else None
+    sweep_start = perf_counter()
+
     if n_workers == 1 or total <= 1:
         results: List[Any] = []
-        for done, task in enumerate(tasks, start=1):
-            try:
-                results.append(task.run())
-            except SweepError:
-                raise
-            except Exception as exc:
-                raise SweepError(
-                    f"sweep task failed at {task.identity()}: {exc!r}"
-                ) from exc
-            if progress is not None:
-                progress(done, total)
+        if profile_on:
+            install_phase_timers()
+        try:
+            for done, task in enumerate(tasks, start=1):
+                try:
+                    if profile_on:
+                        result, task_profile = _profiled_run(task)
+                        assert sweep_profile is not None
+                        sweep_profile.add(task_profile)
+                    else:
+                        result = task.run()
+                    results.append(result)
+                except SweepError:
+                    raise
+                except Exception as exc:
+                    raise SweepError(
+                        f"sweep task failed at {task.identity()}: {exc!r}"
+                    ) from exc
+                if progress is not None:
+                    progress(done, total)
+        finally:
+            if profile_on:
+                uninstall_phase_timers()
+        _finish_profile(sweep_profile, sweep_start)
         return results
 
     if chunksize is None:
@@ -164,6 +243,8 @@ def run_sweep(
         for start in range(0, total, chunksize)
     ]
     results = [None] * total
+    chunk_profiles: List[Optional[List[TaskProfile]]] = [None] * len(chunks)
+    chunk_index = {start: i for i, (start, _) in enumerate(chunks)}
     done = 0
     context = multiprocessing.get_context("spawn")
     with ProcessPoolExecutor(
@@ -177,12 +258,45 @@ def run_sweep(
             finished, _ = wait(pending, return_when=FIRST_COMPLETED)
             for future in finished:
                 start, length = pending.pop(future)
-                chunk_results = future.result()  # raises SweepError on failure
+                # future.result() raises SweepError on failure
+                chunk_results, profiles = future.result()
                 results[start : start + length] = chunk_results
+                chunk_profiles[chunk_index[start]] = profiles
                 done += length
                 if progress is not None:
                     progress(done, total)
+    if sweep_profile is not None:
+        for profiles in chunk_profiles:
+            for task_profile in profiles or ():
+                sweep_profile.add(task_profile)
+    _finish_profile(sweep_profile, sweep_start)
     return results
+
+
+#: Profiles of every profiled run_sweep() call in this process, oldest
+#: first.  The CLI drains this after driving an experiment.
+_sweep_profiles: List[SweepProfile] = []
+
+
+def _finish_profile(
+    profile: Optional[SweepProfile], sweep_start: float
+) -> None:
+    if profile is None:
+        return
+    profile.total_wall_s = perf_counter() - sweep_start
+    _sweep_profiles.append(profile)
+
+
+def last_sweep_profile() -> Optional[SweepProfile]:
+    """The most recent profiled sweep, or None (profiling off / no sweep)."""
+    return _sweep_profiles[-1] if _sweep_profiles else None
+
+
+def consume_sweep_profiles() -> List[SweepProfile]:
+    """Return and clear every accumulated sweep profile, oldest first."""
+    out = list(_sweep_profiles)
+    _sweep_profiles.clear()
+    return out
 
 
 def sweep_series(

@@ -178,6 +178,14 @@ class RadioChannel:
         else:
             outcome = DeliveryOutcome(True, "ok")
 
+        metrics = self._sim.metrics
+        if metrics.enabled:
+            metrics.counter("radio.sent").inc()
+            metrics.counter(
+                "radio.delivered" if outcome.delivered else "radio.dropped"
+            ).inc()
+            if not outcome.delivered:
+                metrics.counter(f"radio.drop.{outcome.reason}").inc()
         if outcome.delivered:
             self.delivered += 1
             self._sim.after(

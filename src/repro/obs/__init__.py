@@ -1,0 +1,77 @@
+"""Observability for the TIBFIT reproduction.
+
+``repro.obs`` makes runs and sweeps *inspectable* without giving back
+the speed the flat-array engines bought:
+
+``repro.obs.registry``
+    Named counters / gauges / histograms / timers with a zero-overhead
+    disabled path (:data:`NULL_REGISTRY`), mirroring ``noop_trace``.
+``repro.obs.probes``
+    :class:`TrustProbe` -- per-node TI time series sampled at decision
+    boundaries, with threshold-crossing queries.
+``repro.obs.export``
+    JSONL artifact writers, per-run manifests, and schema validators.
+``repro.obs.profiling``
+    ``TIBFIT_PROFILE`` sweep profiling: per-task wall time, DES / trust
+    / clustering phase breakdown, :class:`SweepProfile` aggregation.
+
+Entry points: ``SimulationRun(observe=True)`` threads a live registry
+and probe through one run and ``export_artifacts()`` writes the JSONL
+bundle; ``tibfit-repro trace`` does both from the command line; and
+``python -m repro.obs.validate DIR`` checks an artifact directory
+against the schemas.  See ``docs/observability.md``.
+"""
+
+from repro.obs.export import (
+    MANIFEST_SCHEMA_VERSION,
+    SchemaError,
+    build_manifest,
+    read_jsonl,
+    trace_records,
+    validate_artifacts,
+    validate_manifest,
+    validate_metrics_record,
+    validate_ti_record,
+    write_json,
+    write_jsonl,
+)
+from repro.obs.probes import TrustProbe
+from repro.obs.profiling import (
+    PROFILE_ENV,
+    SweepProfile,
+    TaskProfile,
+    profiling_requested,
+)
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MANIFEST_SCHEMA_VERSION",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "PROFILE_ENV",
+    "SchemaError",
+    "SweepProfile",
+    "TaskProfile",
+    "Timer",
+    "TrustProbe",
+    "build_manifest",
+    "profiling_requested",
+    "read_jsonl",
+    "trace_records",
+    "validate_artifacts",
+    "validate_manifest",
+    "validate_metrics_record",
+    "validate_ti_record",
+    "write_json",
+    "write_jsonl",
+]

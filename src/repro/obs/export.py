@@ -1,0 +1,293 @@
+"""Structured export: JSONL artifacts, per-run manifests, schemas.
+
+An instrumented run writes four artifacts side by side::
+
+    manifest.json     what ran: config, seed, code version, timings
+    metrics.jsonl     one registry instrument snapshot per line
+    trace.jsonl       one TraceRecord per line (buffered records)
+    ti_series.jsonl   TI samples + diagnosis crossings (TrustProbe)
+
+Every artifact is plain JSON so a sweep point is diffable with nothing
+but a text tool, and the manifest carries everything needed to re-run
+it bit-identically.  Validation is hand-rolled (no third-party schema
+dependency): :func:`validate_manifest`, :func:`validate_metrics_record`
+and :func:`validate_ti_record` raise :class:`SchemaError` naming the
+offending field, and :func:`validate_artifacts` checks a whole
+directory -- the CI observability job runs exactly that via
+``python -m repro.obs.validate``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "SchemaError",
+    "build_manifest",
+    "read_jsonl",
+    "trace_records",
+    "validate_artifacts",
+    "validate_manifest",
+    "validate_metrics_record",
+    "validate_ti_record",
+    "write_json",
+    "write_jsonl",
+]
+
+MANIFEST_SCHEMA_VERSION = 1
+
+_METRIC_TYPES = ("counter", "gauge", "histogram", "timer")
+_TI_RECORD_TYPES = ("sample", "diagnosis")
+
+
+class SchemaError(ValueError):
+    """An artifact does not match its schema; the message names the field."""
+
+
+# ----------------------------------------------------------------------
+# Manifest
+# ----------------------------------------------------------------------
+def build_manifest(
+    kind: str,
+    config: Dict[str, object],
+    seed: int,
+    timings: Optional[Dict[str, float]] = None,
+    counts: Optional[Dict[str, int]] = None,
+) -> Dict[str, object]:
+    """Assemble a per-run manifest document.
+
+    Parameters
+    ----------
+    kind:
+        What produced the artifacts (``"simulation-run"``, ``"sweep"``).
+    config:
+        The full, JSON-serialisable configuration of the run -- enough
+        to reproduce it (seeds are derived from config + ``seed``).
+    seed:
+        The master seed.
+    timings:
+        Wall-clock phase durations in seconds (``build_s``, ``run_s``).
+    counts:
+        Headline integer facts (events, decisions, trace records).
+    """
+    from repro import __version__
+
+    return {
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "kind": kind,
+        "repro_version": __version__,
+        "python_version": platform.python_version(),
+        "created_unix": time.time(),
+        "seed": int(seed),
+        "config": config,
+        "timings": dict(timings or {}),
+        "counts": {k: int(v) for k, v in (counts or {}).items()},
+    }
+
+
+def validate_manifest(doc: object) -> None:
+    """Raise :class:`SchemaError` unless ``doc`` is a valid manifest."""
+    if not isinstance(doc, dict):
+        raise SchemaError("manifest must be a JSON object")
+    _require(doc, "manifest", "schema_version", int)
+    if doc["schema_version"] != MANIFEST_SCHEMA_VERSION:
+        raise SchemaError(
+            f"manifest schema_version {doc['schema_version']!r} "
+            f"!= {MANIFEST_SCHEMA_VERSION}"
+        )
+    _require(doc, "manifest", "kind", str)
+    _require(doc, "manifest", "repro_version", str)
+    _require(doc, "manifest", "python_version", str)
+    _require(doc, "manifest", "created_unix", (int, float))
+    _require(doc, "manifest", "seed", int)
+    _require(doc, "manifest", "config", dict)
+    timings = _require(doc, "manifest", "timings", dict)
+    for key, value in timings.items():
+        if not isinstance(value, (int, float)):
+            raise SchemaError(f"manifest timings[{key!r}] must be a number")
+    counts = _require(doc, "manifest", "counts", dict)
+    for key, value in counts.items():
+        if not isinstance(value, int):
+            raise SchemaError(f"manifest counts[{key!r}] must be an integer")
+
+
+# ----------------------------------------------------------------------
+# Metrics records
+# ----------------------------------------------------------------------
+def validate_metrics_record(record: object) -> None:
+    """Raise :class:`SchemaError` unless ``record`` is one metrics line."""
+    if not isinstance(record, dict):
+        raise SchemaError("metrics record must be a JSON object")
+    name = _require(record, "metrics record", "name", str)
+    kind = _require(record, "metrics record", "type", str)
+    if kind not in _METRIC_TYPES:
+        raise SchemaError(
+            f"metrics record {name!r}: type {kind!r} not in {_METRIC_TYPES}"
+        )
+    if kind in ("counter", "gauge"):
+        _require(record, f"metrics record {name!r}", "value", (int, float))
+    else:
+        count = _require(record, f"metrics record {name!r}", "count", int)
+        _require(record, f"metrics record {name!r}", "sum", (int, float))
+        _require(record, f"metrics record {name!r}", "mean", (int, float))
+        if count:
+            for key in ("min", "max", "p50", "p90", "p99"):
+                _require(
+                    record, f"metrics record {name!r}", key, (int, float)
+                )
+
+
+# ----------------------------------------------------------------------
+# TI time-series records
+# ----------------------------------------------------------------------
+def validate_ti_record(record: object) -> None:
+    """Raise :class:`SchemaError` unless ``record`` is one TI-series line."""
+    if not isinstance(record, dict):
+        raise SchemaError("ti record must be a JSON object")
+    kind = _require(record, "ti record", "type", str)
+    if kind not in _TI_RECORD_TYPES:
+        raise SchemaError(
+            f"ti record type {kind!r} not in {_TI_RECORD_TYPES}"
+        )
+    _require(record, f"ti {kind} record", "time", (int, float))
+    if kind == "sample":
+        tis = _require(record, "ti sample record", "tis", dict)
+        for node, ti in tis.items():
+            if not isinstance(ti, (int, float)):
+                raise SchemaError(
+                    f"ti sample record tis[{node!r}] must be a number"
+                )
+            if not node.lstrip("-").isdigit():
+                raise SchemaError(
+                    f"ti sample record key {node!r} must be a node id"
+                )
+    else:
+        _require(record, "ti diagnosis record", "node", int)
+        _require(record, "ti diagnosis record", "ti", (int, float))
+
+
+# ----------------------------------------------------------------------
+# Trace records
+# ----------------------------------------------------------------------
+def trace_records(trace) -> Iterator[Dict[str, object]]:
+    """JSONL records for a :class:`~repro.simkernel.trace.TraceLog`.
+
+    Only the buffered (non-evicted) records serialise; per-prefix
+    counts survive eviction and are exported through the registry
+    instead.  Non-JSON field values fall back to ``repr``.
+    """
+    for record in trace:
+        yield {
+            "time": record.time,
+            "category": record.category,
+            "fields": {
+                key: _jsonable(value)
+                for key, value in record.fields.items()
+            },
+        }
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+# ----------------------------------------------------------------------
+# File I/O
+# ----------------------------------------------------------------------
+def write_json(path, doc: Dict[str, object]) -> Path:
+    """Write one JSON document (the manifest format)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def write_jsonl(path, records: Iterable[Dict[str, object]]) -> Path:
+    """Write records one JSON object per line."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+    return path
+
+
+def read_jsonl(path) -> List[Dict[str, object]]:
+    """Read a JSONL file back into a list of dicts."""
+    out: List[Dict[str, object]] = []
+    with Path(path).open() as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise SchemaError(
+                    f"{path}:{line_no}: not valid JSON ({exc})"
+                ) from None
+    return out
+
+
+def validate_artifacts(directory) -> Dict[str, int]:
+    """Validate a run's artifact directory; returns per-file line counts.
+
+    Requires ``manifest.json`` and ``metrics.jsonl``; validates
+    ``ti_series.jsonl`` and ``trace.jsonl`` when present.  Raises
+    :class:`SchemaError` on the first invalid document.
+    """
+    directory = Path(directory)
+    manifest_path = directory / "manifest.json"
+    if not manifest_path.exists():
+        raise SchemaError(f"missing {manifest_path}")
+    validate_manifest(json.loads(manifest_path.read_text()))
+    counts = {"manifest.json": 1}
+
+    metrics_path = directory / "metrics.jsonl"
+    if not metrics_path.exists():
+        raise SchemaError(f"missing {metrics_path}")
+    metrics = read_jsonl(metrics_path)
+    for record in metrics:
+        validate_metrics_record(record)
+    counts["metrics.jsonl"] = len(metrics)
+
+    ti_path = directory / "ti_series.jsonl"
+    if ti_path.exists():
+        ti_records = read_jsonl(ti_path)
+        for record in ti_records:
+            validate_ti_record(record)
+        counts["ti_series.jsonl"] = len(ti_records)
+
+    trace_path = directory / "trace.jsonl"
+    if trace_path.exists():
+        trace = read_jsonl(trace_path)
+        for record in trace:
+            if not isinstance(record.get("category"), str):
+                raise SchemaError("trace record missing string 'category'")
+            if not isinstance(record.get("time"), (int, float)):
+                raise SchemaError("trace record missing numeric 'time'")
+        counts["trace.jsonl"] = len(trace)
+    return counts
+
+
+def _require(doc: dict, where: str, key: str, types) -> object:
+    if key not in doc:
+        raise SchemaError(f"{where} missing required field {key!r}")
+    value = doc[key]
+    if isinstance(value, bool) and types is not bool and bool not in (
+        types if isinstance(types, tuple) else (types,)
+    ):
+        raise SchemaError(f"{where} field {key!r} must not be a boolean")
+    if not isinstance(value, types):
+        raise SchemaError(
+            f"{where} field {key!r} has wrong type {type(value).__name__}"
+        )
+    return value

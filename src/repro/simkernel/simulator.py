@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.simkernel.errors import SchedulingError, SimulationFinished
 from repro.simkernel.events import EventQueue, ScheduledEvent
 from repro.simkernel.rng import RandomStreams
@@ -25,6 +26,13 @@ class Simulator:
     trace:
         Optional pre-built trace log; a fresh enabled one is created by
         default.
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` shared by
+        every entity holding this simulator (radio channel, cluster
+        heads).  Defaults to the disabled ``NULL_REGISTRY``, so
+        uninstrumented runs pay nothing; the event loop itself is never
+        instrumented per event -- ``events_fired`` / queue depth are
+        sampled at run boundaries instead.
 
     Examples
     --------
@@ -36,11 +44,17 @@ class Simulator:
     [5.0]
     """
 
-    def __init__(self, seed: int = 0, trace: Optional[TraceLog] = None) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        trace: Optional[TraceLog] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._now = 0.0
         self._queue = EventQueue()
         self.streams = RandomStreams(seed)
         self.trace = trace if trace is not None else TraceLog()
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self._running = False
         self._stopped = False
         self._events_fired = 0
@@ -196,6 +210,19 @@ class Simulator:
     def stop(self) -> None:
         """Request an orderly stop after the current event completes."""
         self._stopped = True
+
+    def record_kernel_metrics(self) -> None:
+        """Sample kernel state into the metrics registry.
+
+        A boundary hook, not a per-event one: callers (the harness, at
+        round boundaries and run end) decide the cadence, so the run
+        loop stays untouched.  Records the ``des.events_fired`` gauge
+        and one ``des.queue_depth`` observation.
+        """
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.gauge("des.events_fired").set(float(self._events_fired))
+            metrics.histogram("des.queue_depth").observe(float(self.pending))
 
     def __repr__(self) -> str:
         return (

@@ -8,9 +8,9 @@ enabled (a ring buffer caps memory for long sweeps).
 
 from __future__ import annotations
 
-from collections import Counter, deque
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -70,33 +70,48 @@ class TraceLog:
         self.enabled = enabled
         self.count_when_disabled = count_when_disabled
         self._records: Deque[TraceRecord] = deque(maxlen=max_records)
-        self._counts: Counter = Counter()
+        # Prefix-count index: emitting "radio.drop" increments the
+        # totals for both "radio" and "radio.drop", so count() is one
+        # dict lookup instead of a scan over every distinct category.
+        # The dotted-prefix tuples are memoised per category (the
+        # category vocabulary is tiny and stable).
+        self._prefix_counts: Dict[str, int] = {}
+        self._prefixes_of: Dict[str, Tuple[str, ...]] = {}
 
     @property
     def _noop(self) -> bool:
         """True when :meth:`emit` discards everything."""
         return not self.enabled and not self.count_when_disabled
 
+    def _count_category(self, category: str) -> None:
+        prefixes = self._prefixes_of.get(category)
+        if prefixes is None:
+            parts = category.split(".")
+            prefixes = tuple(
+                ".".join(parts[: i + 1]) for i in range(len(parts))
+            )
+            self._prefixes_of[category] = prefixes
+        counts = self._prefix_counts
+        for prefix in prefixes:
+            counts[prefix] = counts.get(prefix, 0) + 1
+
     def emit(self, time: float, category: str, **fields: Any) -> None:
         """Record one entry (category counters update unless no-op)."""
         if self.enabled:
-            self._counts[category] += 1
+            self._count_category(category)
             self._records.append(TraceRecord(time, category, fields))
         elif self.count_when_disabled:
-            self._counts[category] += 1
+            self._count_category(category)
 
     def count(self, category_prefix: str) -> int:
         """Total emissions whose category sits at/under ``category_prefix``.
 
-        Counts survive ring-buffer eviction and the disabled state.
+        O(1) via the prefix-count index.  Counts survive ring-buffer
+        eviction and the disabled state.  Only whole dotted prefixes
+        match (``"radio"`` counts ``"radio.drop"`` but ``"radio.d"``
+        counts nothing), exactly like :meth:`TraceRecord.matches`.
         """
-        total = 0
-        for category, n in self._counts.items():
-            if category == category_prefix or category.startswith(
-                category_prefix + "."
-            ):
-                total += n
-        return total
+        return self._prefix_counts.get(category_prefix, 0)
 
     def records(
         self,
@@ -125,7 +140,7 @@ class TraceLog:
     def clear(self) -> None:
         """Drop all buffered records and reset counters."""
         self._records.clear()
-        self._counts.clear()
+        self._prefix_counts.clear()
 
     def __len__(self) -> int:
         return len(self._records)

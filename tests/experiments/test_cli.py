@@ -121,6 +121,88 @@ class TestRun:
             main([])
 
 
+class TestTrace:
+    ARGS = (
+        "trace", "--mode", "binary", "--nodes", "10", "--events", "15",
+        "--percent-faulty", "30", "--seed", "7",
+        "--diagnosis-threshold", "0.5",
+    )
+
+    def test_renders_trajectories_and_timeline(self, capsys):
+        code, out = run_cli(capsys, *self.ARGS)
+        assert code == 0
+        assert "TI trajectories" in out
+        assert "decision timeline:" in out
+        assert "metrics registry:" in out
+        assert "radio.sent" in out
+        assert "trust.vote.margin" in out
+
+    def test_exports_validating_artifacts(self, capsys, tmp_path):
+        out_dir = tmp_path / "artifacts"
+        code, out = run_cli(capsys, *self.ARGS, "--out", str(out_dir))
+        assert code == 0
+        assert "artifacts:" in out
+        from repro.obs.export import validate_artifacts
+
+        counts = validate_artifacts(out_dir)
+        assert counts["metrics.jsonl"] > 0
+        assert counts["ti_series.jsonl"] > 0
+
+    def test_max_nodes_limits_trajectories(self, capsys):
+        code, out = run_cli(
+            capsys, "trace", "--mode", "binary", "--nodes", "10",
+            "--events", "5", "--seed", "7", "--max-nodes", "3",
+        )
+        assert code == 0
+        assert "3 lowest-final-TI of 10 nodes" in out
+        assert sum(1 for line in out.splitlines()
+                   if line.startswith("  node ")) == 3
+
+    def test_without_diagnosis_threshold(self, capsys):
+        code, out = run_cli(
+            capsys, "trace", "--mode", "binary", "--nodes", "10",
+            "--events", "5", "--seed", "7",
+        )
+        assert code == 0
+        assert "diagnosis disabled" in out
+
+
+class TestFigProfiling:
+    def test_profile_printed_and_written(self, capsys, tmp_path,
+                                         monkeypatch):
+        from repro.experiments.runner import consume_sweep_profiles
+
+        consume_sweep_profiles()
+        monkeypatch.setenv("TIBFIT_PROFILE", "1")
+        out_file = tmp_path / "profile.json"
+        code, out = run_cli(
+            capsys, "fig", "2", "--trials", "1", "--events", "8",
+            "--seed", "3", "--profile-out", str(out_file),
+        )
+        assert code == 0
+        assert "sweep profile:" in out
+        assert out_file.exists()
+
+        import json
+
+        from repro.obs.export import validate_manifest
+
+        doc = json.loads(out_file.read_text())
+        validate_manifest(doc)
+        assert doc["kind"] == "sweep"
+        assert doc["counts"]["tasks"] > 0
+
+    def test_profile_out_without_env_explains(self, capsys, tmp_path,
+                                              monkeypatch):
+        monkeypatch.delenv("TIBFIT_PROFILE", raising=False)
+        code, out = run_cli(
+            capsys, "fig", "10",
+            "--profile-out", str(tmp_path / "p.json"),
+        )
+        assert code == 0
+        assert "TIBFIT_PROFILE" in out
+
+
 class TestRotate:
     def test_rotating_run_prints_registry_summary(self, capsys):
         code, out = run_cli(

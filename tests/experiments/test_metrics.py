@@ -169,6 +169,40 @@ class TestRunMetrics:
         assert m.diagnosis_recall == pytest.approx(2 / 3)
         assert m.diagnosis_false_positives == 1
 
+    def test_diagnosis_precision_with_wrong_accusation(self):
+        # 3 diagnosed, one of them (node 9) is not truly faulty
+        assert self.make_metrics().diagnosis_precision == pytest.approx(
+            2 / 3
+        )
+
+    def test_diagnosis_precision_perfect_when_nothing_diagnosed(self):
+        m = RunMetrics(truly_faulty_nodes=(1, 2))
+        assert m.diagnosis_precision == 1.0
+        assert m.diagnosis_recall == 0.0
+
+    def test_diagnosis_precision_all_wrong(self):
+        m = RunMetrics(diagnosed_nodes=(5, 6), truly_faulty_nodes=(1,))
+        assert m.diagnosis_precision == 0.0
+        assert m.diagnosis_false_positives == 2
+
+    def test_zero_event_run_defaults(self):
+        m = RunMetrics()
+        assert m.events_total == 0
+        assert m.events_detected == 0
+        assert m.accuracy == 1.0
+        assert m.false_positive_rate == 0.0
+        assert m.mean_localisation_error is None
+        assert m.diagnosis_recall == 1.0
+        assert m.diagnosis_precision == 1.0
+        assert m.accuracy_over_windows(3) == []
+
+    def test_false_positive_rate_guards_zero_quiet_windows(self):
+        # decisions can be spurious even when no quiet windows were
+        # driven; the *rate* is defined over quiet windows only
+        m = RunMetrics(false_positive_decisions=4, quiet_windows=0)
+        assert m.false_positive_decisions == 4
+        assert m.false_positive_rate == 0.0
+
     def test_accuracy_over_windows(self):
         m = self.make_metrics()
         series = m.accuracy_over_windows(window=2)

@@ -16,6 +16,8 @@ from repro.experiments.config import Experiment1Config, Experiment2Config
 from repro.experiments.runner import (
     SweepError,
     SweepTask,
+    consume_sweep_profiles,
+    last_sweep_profile,
     resolve_workers,
     run_sweep,
     sweep_series,
@@ -49,7 +51,22 @@ class TestResolveWorkers:
 
     def test_invalid_env_rejected(self, monkeypatch):
         monkeypatch.setenv("TIBFIT_WORKERS", "many")
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="TIBFIT_WORKERS"):
+            resolve_workers(None)
+
+    def test_negative_env_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("TIBFIT_WORKERS", "-2")
+        with pytest.raises(ValueError, match="TIBFIT_WORKERS.*-2"):
+            resolve_workers(None)
+
+    def test_zero_env_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("TIBFIT_WORKERS", "0")
+        with pytest.raises(ValueError, match="TIBFIT_WORKERS"):
+            resolve_workers(None)
+
+    def test_float_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("TIBFIT_WORKERS", "2.5")
+        with pytest.raises(ValueError, match="TIBFIT_WORKERS"):
             resolve_workers(None)
 
     def test_nonpositive_rejected(self):
@@ -116,6 +133,67 @@ class TestWorkerPool:
         ] + [SweepTask(fn=_boom, args=(None, 80.0, 1), point=80.0, trial=1)]
         with pytest.raises(SweepError, match=r"point=80, trial=1"):
             run_sweep(tasks, workers=2, chunksize=1)
+
+
+class TestProfiledSweeps:
+    """TIBFIT_PROFILE=1 must add a timing breakdown, nothing else."""
+
+    def test_profiled_serial_sweep_is_bit_identical(self, monkeypatch):
+        config = Experiment1Config(
+            n_nodes=10, events_per_run=8,
+            percent_faulty_values=(40.0,), trials=2, seed=11,
+        )
+        monkeypatch.delenv("TIBFIT_PROFILE", raising=False)
+        plain = experiment1.sweep(config, workers=1)
+        consume_sweep_profiles()  # drain anything earlier tests left
+        monkeypatch.setenv("TIBFIT_PROFILE", "1")
+        profiled = experiment1.sweep(config, workers=1)
+        assert _series_values(plain) == _series_values(profiled)
+
+        profile = last_sweep_profile()
+        assert profile is not None
+        assert len(profile.tasks) == 2
+        assert profile.workers == 1
+        assert profile.total_wall_s > 0.0
+        assert profile.phase_totals()["des"] > 0.0
+        assert all(t.wall_s >= t.phases["des"] for t in profile.tasks)
+        # phase timers must leave no residue behind
+        from repro.simkernel.simulator import Simulator
+
+        assert not hasattr(Simulator.run, "__wrapped__")
+
+    def test_profiled_parallel_sweep_collects_worker_timings(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("TIBFIT_PROFILE", "1")
+        consume_sweep_profiles()
+        tasks = [
+            SweepTask(fn=_square, args=(None, float(x), 0), point=float(x))
+            for x in range(4)
+        ]
+        results = run_sweep(tasks, workers=2, chunksize=1)
+        assert results == [0.0, 1.0, 4.0, 9.0]
+        profiles = consume_sweep_profiles()
+        assert len(profiles) == 1
+        assert len(profiles[0].tasks) == 4
+        assert profiles[0].workers == 2
+        assert sorted(t.point for t in profiles[0].tasks) == [
+            0.0, 1.0, 2.0, 3.0,
+        ]
+
+    def test_unprofiled_sweep_records_nothing(self, monkeypatch):
+        monkeypatch.delenv("TIBFIT_PROFILE", raising=False)
+        consume_sweep_profiles()
+        run_sweep([SweepTask(fn=_square, args=(None, 2.0, 0))], workers=1)
+        assert last_sweep_profile() is None
+
+    def test_consume_clears_the_store(self, monkeypatch):
+        monkeypatch.setenv("TIBFIT_PROFILE", "1")
+        consume_sweep_profiles()
+        run_sweep([SweepTask(fn=_square, args=(None, 2.0, 0))], workers=1)
+        assert len(consume_sweep_profiles()) == 1
+        assert consume_sweep_profiles() == []
+        assert last_sweep_profile() is None
 
 
 class TestSweepSeries:

@@ -1,0 +1,210 @@
+"""Unit tests for artifact export, schemas, and validation."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    MANIFEST_SCHEMA_VERSION,
+    SchemaError,
+    build_manifest,
+    read_jsonl,
+    trace_records,
+    validate_artifacts,
+    validate_manifest,
+    validate_metrics_record,
+    validate_ti_record,
+    write_json,
+    write_jsonl,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.simkernel.trace import TraceLog
+
+
+class TestManifest:
+    def test_build_and_validate_roundtrip(self):
+        doc = build_manifest(
+            kind="simulation-run",
+            config={"mode": "binary", "n_nodes": 10},
+            seed=7,
+            timings={"build_s": 0.01, "run_s": 0.5},
+            counts={"events": 40},
+        )
+        validate_manifest(doc)
+        assert doc["schema_version"] == MANIFEST_SCHEMA_VERSION
+        assert doc["seed"] == 7
+        assert doc["counts"]["events"] == 40
+        assert isinstance(doc["repro_version"], str)
+
+    def test_missing_field_named_in_error(self):
+        doc = build_manifest("x", {}, 0)
+        del doc["seed"]
+        with pytest.raises(SchemaError, match="seed"):
+            validate_manifest(doc)
+
+    def test_wrong_schema_version_rejected(self):
+        doc = build_manifest("x", {}, 0)
+        doc["schema_version"] = 999
+        with pytest.raises(SchemaError, match="schema_version"):
+            validate_manifest(doc)
+
+    def test_non_numeric_timing_rejected(self):
+        doc = build_manifest("x", {}, 0, timings={"run_s": 1.0})
+        doc["timings"]["run_s"] = "fast"
+        with pytest.raises(SchemaError, match="timings"):
+            validate_manifest(doc)
+
+    def test_boolean_seed_rejected(self):
+        doc = build_manifest("x", {}, 0)
+        doc["seed"] = True
+        with pytest.raises(SchemaError, match="seed"):
+            validate_manifest(doc)
+
+
+class TestMetricsRecords:
+    def test_registry_snapshot_records_validate(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("radio.sent").inc(3)
+        reg.gauge("des.events_fired").set(10.0)
+        reg.histogram("trust.vote.margin").observe(0.5)
+        with reg.timer("trust.vote.wall").time():
+            pass
+        for record in reg.snapshot():
+            validate_metrics_record(record)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError, match="type"):
+            validate_metrics_record({"name": "x", "type": "summary"})
+
+    def test_histogram_requires_aggregates(self):
+        with pytest.raises(SchemaError, match="count"):
+            validate_metrics_record({"name": "h", "type": "histogram"})
+
+    def test_empty_histogram_needs_no_quantiles(self):
+        validate_metrics_record(
+            {"name": "h", "type": "histogram",
+             "count": 0, "sum": 0.0, "mean": 0.0}
+        )
+
+
+class TestTiRecords:
+    def test_sample_and_diagnosis_validate(self):
+        validate_ti_record(
+            {"type": "sample", "time": 1.0, "tis": {"0": 1.0, "7": 0.25}}
+        )
+        validate_ti_record(
+            {"type": "diagnosis", "time": 2.0, "node": 7, "ti": 0.25,
+             "isolated": True}
+        )
+
+    def test_non_numeric_ti_rejected(self):
+        with pytest.raises(SchemaError, match="tis"):
+            validate_ti_record(
+                {"type": "sample", "time": 1.0, "tis": {"0": "high"}}
+            )
+
+    def test_non_node_key_rejected(self):
+        with pytest.raises(SchemaError, match="node id"):
+            validate_ti_record(
+                {"type": "sample", "time": 1.0, "tis": {"abc": 1.0}}
+            )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchemaError):
+            validate_ti_record({"type": "snapshot", "time": 0.0})
+
+
+class TestTraceExport:
+    def test_trace_records_serialise_buffered_entries(self):
+        log = TraceLog()
+        log.emit(1.0, "radio.drop", reason="loss", message="EventReport")
+        records = list(trace_records(log))
+        assert records == [
+            {"time": 1.0, "category": "radio.drop",
+             "fields": {"reason": "loss", "message": "EventReport"}}
+        ]
+
+    def test_non_json_field_values_fall_back_to_repr(self):
+        log = TraceLog()
+        log.emit(0.0, "x", payload=object())
+        record = list(trace_records(log))[0]
+        assert isinstance(record["fields"]["payload"], str)
+        json.dumps(record)  # must be serialisable
+
+
+class TestFileIO:
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        records = [{"a": 1}, {"b": [1, 2]}]
+        write_jsonl(path, records)
+        assert read_jsonl(path) == records
+
+    def test_read_jsonl_names_bad_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(SchemaError, match="bad.jsonl:2"):
+            read_jsonl(path)
+
+    def test_validate_artifacts_happy_path(self, tmp_path):
+        write_json(
+            tmp_path / "manifest.json",
+            build_manifest("simulation-run", {"mode": "binary"}, 3),
+        )
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("radio.sent").inc()
+        write_jsonl(tmp_path / "metrics.jsonl", reg.snapshot())
+        write_jsonl(
+            tmp_path / "ti_series.jsonl",
+            [{"type": "sample", "time": 0.0, "tis": {"0": 1.0}}],
+        )
+        counts = validate_artifacts(tmp_path)
+        assert counts == {
+            "manifest.json": 1,
+            "metrics.jsonl": 1,
+            "ti_series.jsonl": 1,
+        }
+
+    def test_validate_artifacts_requires_manifest(self, tmp_path):
+        with pytest.raises(SchemaError, match="manifest.json"):
+            validate_artifacts(tmp_path)
+
+    def test_validate_artifacts_requires_metrics(self, tmp_path):
+        write_json(
+            tmp_path / "manifest.json", build_manifest("x", {}, 0)
+        )
+        with pytest.raises(SchemaError, match="metrics.jsonl"):
+            validate_artifacts(tmp_path)
+
+    def test_validate_artifacts_flags_bad_ti_line(self, tmp_path):
+        write_json(
+            tmp_path / "manifest.json", build_manifest("x", {}, 0)
+        )
+        write_jsonl(tmp_path / "metrics.jsonl", [])
+        write_jsonl(
+            tmp_path / "ti_series.jsonl", [{"type": "sample", "time": 0.0}]
+        )
+        with pytest.raises(SchemaError):
+            validate_artifacts(tmp_path)
+
+
+class TestValidateCli:
+    def test_module_entry_point(self, tmp_path, capsys):
+        from repro.obs.validate import main
+
+        write_json(
+            tmp_path / "manifest.json", build_manifest("x", {}, 0)
+        )
+        write_jsonl(tmp_path / "metrics.jsonl", [])
+        assert main([str(tmp_path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_invalid_directory_fails(self, tmp_path, capsys):
+        from repro.obs.validate import main
+
+        assert main([str(tmp_path)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_no_args_is_usage_error(self, capsys):
+        from repro.obs.validate import main
+
+        assert main([]) == 2

@@ -86,3 +86,55 @@ class TestBoundsAndDisable:
     def test_disabled_but_counting_is_not_noop(self):
         log = TraceLog(enabled=False)
         assert not log._noop
+
+    def test_noop_emit_touches_no_state(self):
+        log = noop_trace()
+        for _ in range(100):
+            log.emit(0.0, "radio.drop", reason="loss")
+        # the no-op contract: nothing accumulates anywhere
+        assert log._prefix_counts == {}
+        assert log._prefixes_of == {}
+        assert len(log) == 0
+
+
+class TestPrefixCountIndex:
+    """The O(1) count() index must keep the scan semantics exactly."""
+
+    def test_whole_dotted_prefixes_only(self):
+        log = TraceLog()
+        log.emit(0.0, "radio.drop")
+        log.emit(0.0, "radiometer")
+        assert log.count("radio") == 1  # not fooled by "radiometer"
+        assert log.count("radiometer") == 1
+        assert log.count("radio.d") == 0  # partial segment never matches
+        assert log.count("radio.drop") == 1
+
+    def test_every_ancestor_prefix_counts(self):
+        log = TraceLog()
+        log.emit(0.0, "a.b.c")
+        log.emit(0.0, "a.b.c")
+        log.emit(0.0, "a.x")
+        assert log.count("a") == 3
+        assert log.count("a.b") == 2
+        assert log.count("a.b.c") == 2
+        assert log.count("a.x") == 1
+        assert log.count("a.b.c.d") == 0
+
+    def test_index_agrees_with_record_scan(self):
+        log = TraceLog()
+        categories = [
+            "radio.drop", "radio.deliver", "radio.drop.loss",
+            "ch.decision", "ch.diagnosis", "radio.drop",
+        ]
+        for i, category in enumerate(categories):
+            log.emit(float(i), category)
+        for prefix in ("radio", "radio.drop", "ch", "radio.drop.loss"):
+            assert log.count(prefix) == len(log.records(prefix))
+
+    def test_eviction_preserves_counts_but_not_records(self):
+        log = TraceLog(max_records=2)
+        for i in range(6):
+            log.emit(float(i), "radio.drop" if i % 2 else "ch.decision")
+        assert len(log) == 2  # ring buffer kept only the newest two
+        assert log.count("radio") == 3
+        assert log.count("ch") == 3
