@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-save bench-compare profile examples figures clean
+.PHONY: install test bench bench-save bench-compare profile examples figures golden-save chaos clean
 
 install:
 	pip install -e '.[test]'
@@ -38,6 +38,16 @@ examples:
 	$(PYTHON) examples/rotating_clusters.py
 	$(PYTHON) examples/multihop_watch.py
 	$(PYTHON) examples/target_tracking.py
+	$(PYTHON) examples/chaos_campaign.py
+
+# Regenerate the golden-run regression fixtures (tests/golden/*.json).
+# Only after an INTENTIONAL behaviour change; review and commit the diff.
+golden-save:
+	PYTHONPATH=src $(PYTHON) -m tests.golden.generate
+
+# Quick deterministic fault-injection campaign (see docs/chaos.md).
+chaos:
+	PYTHONPATH=src $(PYTHON) -m repro chaos --seeds 2 --rounds 10
 
 # Regenerate every figure's data series via the CLI (fast settings).
 figures:

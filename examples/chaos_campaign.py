@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Chaos campaign: stress TIBFIT under injected infrastructure faults.
+
+Builds a small binary cluster with two compromised nodes, then runs the
+same fixed-seed simulation under four fault plans -- none, a burst-loss
+window, node crash/recover churn, and a cluster-head crash with standby
+failover -- checking the runtime invariants on every run and printing a
+side-by-side summary.  Everything is deterministic: re-running this
+script reproduces every number and fingerprint exactly.
+
+Run:
+    python examples/chaos_campaign.py
+"""
+
+from repro.chaos.campaign import (
+    CampaignConfig,
+    resolve_plans,
+    run_campaign,
+    summarise,
+)
+from repro.chaos.plan import ChannelWindow, FaultPlan
+
+config = CampaignConfig(
+    n_nodes=10,
+    n_rounds=15,
+    fault_fraction=0.2,
+    diagnosis_threshold=0.3,
+)
+
+# Three builtin plans plus one hand-written timeline: a mid-run squall
+# that drops 70% of all traffic for five rounds.
+plans = resolve_plans(["empty", "node-churn", "ch-crash"], config)
+plans.append(
+    FaultPlan(
+        name="squall",
+        windows=(
+            ChannelWindow(start=50.0, end=100.0, loss_probability=0.7),
+        ),
+    )
+)
+
+results = run_campaign(plans, seeds=range(2), config=config)
+print(summarise(results))
+
+worst = min(results, key=lambda r: r.accuracy)
+print(
+    f"\nworst cell: plan={worst.plan!r} seed={worst.seed} "
+    f"accuracy={worst.accuracy:.3f} ({worst.dropped} transmissions lost)"
+)
+assert all(r.ok for r in results), "runtime invariants must hold"

@@ -9,6 +9,8 @@ Subcommands::
                                     decision timeline, JSONL artifacts
     tibfit-repro analyze baseline   eqs. 1-3 success-probability curve
     tibfit-repro analyze decay      Fig.-11 break-even roots and k_max
+    tibfit-repro chaos [...]        fault-injection campaign over a
+                                    plan x seed grid with invariant checks
 
 Also reachable as ``python -m repro``.  ``TIBFIT_PROFILE=1`` makes
 ``fig`` print a per-sweep timing breakdown (see
@@ -96,6 +98,32 @@ def _build_parser() -> argparse.ArgumentParser:
     p_rot.add_argument("--no-transfer", action="store_true",
                        help="disable the BS trust hand-off (amnesia)")
     p_rot.add_argument("--seed", type=int, default=0)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="deterministic fault-injection campaign (see docs/chaos.md)",
+    )
+    p_chaos.add_argument(
+        "--plans", type=str, default="empty,burst-loss,ch-crash",
+        help="comma-separated plan selectors: builtin names, plan JSON "
+             "paths, or random:<seed> (see --list-plans)")
+    p_chaos.add_argument("--list-plans", action="store_true",
+                         help="print the builtin plan names and exit")
+    p_chaos.add_argument("--seeds", type=int, default=3,
+                         help="seeds per plan (0..N-1)")
+    p_chaos.add_argument("--nodes", type=int, default=10)
+    p_chaos.add_argument("--rounds", type=int, default=20,
+                         help="event rounds per run")
+    p_chaos.add_argument("--percent-faulty", type=float, default=20.0)
+    p_chaos.add_argument("--diagnosis-threshold", type=float, default=None)
+    p_chaos.add_argument("--base-seed", type=int, default=0)
+    p_chaos.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default: $TIBFIT_WORKERS, "
+                              "else serial); results are identical for "
+                              "any count")
+    p_chaos.add_argument("--out", type=str, default=None,
+                         help="export manifest, results.jsonl and the "
+                              "plan files here")
 
     p_an = sub.add_parser("analyze", help="closed-form analysis (§5)")
     an_sub = p_an.add_subparsers(dest="analysis", required=True)
@@ -456,6 +484,51 @@ def _cmd_rotate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos.campaign import (
+        CampaignConfig,
+        export_campaign,
+        resolve_plans,
+        run_campaign,
+        summarise,
+    )
+    from repro.chaos.plan import builtin_plans
+
+    config = CampaignConfig(
+        n_nodes=args.nodes,
+        n_rounds=args.rounds,
+        fault_fraction=args.percent_faulty / 100.0,
+        diagnosis_threshold=args.diagnosis_threshold,
+        base_seed=args.base_seed,
+    )
+    if args.list_plans:
+        for name, plan in sorted(
+            builtin_plans(config.horizon, config.n_nodes).items()
+        ):
+            print(
+                f"{name:<12} windows={len(plan.windows)} "
+                f"outages={len(plan.outages)} "
+                f"partitions={len(plan.partitions)} "
+                f"ch_crashes={len(plan.ch_crashes)}"
+            )
+        return 0
+    if args.seeds < 1:
+        raise SystemExit("--seeds must be >= 1")
+    plans = resolve_plans(
+        [p.strip() for p in args.plans.split(",") if p.strip()], config
+    )
+    results = run_campaign(
+        plans, range(args.seeds), config, workers=args.workers
+    )
+    print(summarise(results))
+    if args.out is not None:
+        paths = export_campaign(results, plans, config, args.out)
+        print("\nartifacts:")
+        for name in sorted(paths):
+            print(f"  {name}: {paths[name]}")
+    return 1 if any(r.violations for r in results) else 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.analysis == "baseline":
         curve = success_curve(args.n, args.p, args.q)
@@ -491,6 +564,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": _cmd_trace,
         "rotate": _cmd_rotate,
         "analyze": _cmd_analyze,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

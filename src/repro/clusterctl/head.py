@@ -252,6 +252,11 @@ class ClusterHead(NetworkNode):
         reports = self._binary_window
         self._binary_window = []
         self._binary_window_open = False
+        if not self.alive:
+            # A crashed CH decides nothing: T_out timers scheduled before
+            # the crash still fire, but must neither vote (trust updates)
+            # nor announce (chaos CH-crash windows).
+            return
 
         excluded = set(self._excluded_set())
         reporter_set = {m.sender for m in reports} - excluded
@@ -264,6 +269,8 @@ class ClusterHead(NetworkNode):
                               tuple(non_reporters))
 
     def _decide_group(self, reports: List[LocationReport]) -> None:
+        if not self.alive:
+            return  # see _decide_binary: crashed CHs decide nothing
         assert self._engine is not None
         decisions = self._engine.decide(
             reports, excluded_nodes=self._excluded_set()

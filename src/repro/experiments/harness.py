@@ -16,7 +16,8 @@ from pathlib import Path
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.clusterctl.head import ClusterHead, ClusterHeadConfig
+from repro.chaos.plan import ChaosController, ChCrash, FaultPlan
+from repro.clusterctl.head import ClusterHead, ClusterHeadConfig, DecisionRecord
 from repro.core.trust import TrustParameters
 from repro.network.geometry import Point, Region
 from repro.network.radio import ChannelConfig, RadioChannel
@@ -115,6 +116,15 @@ class SimulationRun:
         an observed run stays bit-identical to an unobserved one.
         After :meth:`run`, :meth:`export_artifacts` serialises
         everything to JSONL next to a manifest.
+    chaos_plan:
+        Optional :class:`~repro.chaos.plan.FaultPlan` of injected
+        failures (channel degradation windows, node crash/recover
+        churn, partitions, CH crashes with standby failover).  The plan
+        is applied through the radio channel's transmit interceptor and
+        lifecycle events scheduled at build time; its randomness lives
+        on the dedicated ``"chaos"`` stream, so a run with the *empty*
+        plan is bit-identical to a run with no plan at all (asserted by
+        ``tests/chaos/test_differential.py``).
     """
 
     CH_ID_OFFSET = 10_000
@@ -142,6 +152,7 @@ class SimulationRun:
         seed: int = 0,
         tracing: bool = True,
         observe: bool = False,
+        chaos_plan: Optional[FaultPlan] = None,
     ) -> None:
         if mode not in ("binary", "location"):
             raise ValueError(f"mode must be 'binary' or 'location', got {mode!r}")
@@ -177,6 +188,9 @@ class SimulationRun:
         self.seed = seed
         self.tracing = tracing
         self.observe = observe
+        self.chaos_plan = chaos_plan
+        self.chaos: Optional[ChaosController] = None
+        self._retired_chs: List[ClusterHead] = []
         self.registry = (
             MetricsRegistry(enabled=True) if observe else NULL_REGISTRY
         )
@@ -305,8 +319,82 @@ class SimulationRun:
             )
             self.ch.probe = self.probe
             self.probe.sample(self.sim.now)  # t=0 baseline: all TI = 1.0
+        if self.chaos_plan is not None:
+            # Installing the empty plan is a guaranteed no-op (no
+            # interceptor, no lifecycle events), so runs constructed with
+            # EMPTY_PLAN stay bit-identical to runs with no plan at all.
+            self.chaos = ChaosController(
+                self.chaos_plan,
+                self.sim,
+                self.channel,
+                node_resolver=self._chaos_endpoint,
+                ch_crash=self._chaos_ch_crash,
+                ch_recover=self._chaos_ch_recover,
+            ).install()
         self.timings["build_s"] = perf_counter() - build_start
         return self
+
+    # ------------------------------------------------------------------
+    # Chaos lifecycle (see repro.chaos.plan.ChaosController)
+    # ------------------------------------------------------------------
+    def _chaos_endpoint(self, node_id: int):
+        node = self.nodes.get(node_id)
+        if node is not None:
+            return node
+        assert self.channel is not None
+        return self.channel.node(node_id)
+
+    def _chaos_ch_crash(self, crash: ChCrash) -> None:
+        assert self.ch is not None and self.sim is not None
+        self.ch.kill()
+        self.sim.trace.emit(
+            self.sim.now, "chaos.ch-crash", ch=self.ch.node_id
+        )
+        if self.sim.metrics.enabled:
+            self.sim.metrics.counter("chaos.ch-crash").inc()
+        if crash.failover:
+            self._promote_standby()
+
+    def _chaos_ch_recover(self, crash: ChCrash) -> None:
+        assert self.ch is not None and self.sim is not None
+        self.ch.revive()
+        self.sim.trace.emit(
+            self.sim.now, "chaos.ch-recover", ch=self.ch.node_id
+        )
+
+    def _promote_standby(self) -> None:
+        assert self.ch is not None and self.sim is not None
+        assert self.channel is not None and self.deployment is not None
+        retired = self.ch
+        self._retired_chs.append(retired)
+        standby_id = self.CH_ID_OFFSET + len(self._retired_chs)
+        standby = ClusterHead(
+            node_id=standby_id,
+            position=retired.position,
+            deployment=self.deployment,
+            config=retired.config,
+            base_station_id=retired.base_station_id,
+            cluster_id=retired.cluster_id,
+        )
+        # §3.4: a shadow CH mirrors the active head's trust state, so
+        # the promoted standby resumes from the TI table at crash time.
+        standby.trust.import_state(retired.trust.export_state())
+        self.channel.register(standby)
+        self.ch = standby
+        for node in self.nodes.values():
+            node.ch_id = standby_id
+        if self.probe is not None:
+            self.probe.table = standby.trust
+            self.probe.diagnoser = standby.diagnoser
+            standby.probe = self.probe
+        self.sim.trace.emit(
+            self.sim.now,
+            "chaos.ch-failover",
+            old=retired.node_id,
+            new=standby_id,
+        )
+        if self.sim.metrics.enabled:
+            self.sim.metrics.counter("chaos.ch-failover").inc()
 
     def _make_correct_behavior(self, sensing: SensingModel) -> NodeBehavior:
         return make_correct_behavior(self.correct_spec, sensing)
@@ -413,28 +501,51 @@ class SimulationRun:
     # ------------------------------------------------------------------
     # Scoring
     # ------------------------------------------------------------------
+    def all_decisions(self) -> List[DecisionRecord]:
+        """The decision timeline across every CH this run ever had.
+
+        Without CH failover this is exactly the active head's log (the
+        same list object -- no copy).  After a failover the retired
+        heads' logs are merged with the active one in time order.
+        """
+        assert self.ch is not None
+        if not self._retired_chs:
+            return self.ch.decisions
+        merged: List[DecisionRecord] = []
+        for ch in (*self._retired_chs, self.ch):
+            merged.extend(ch.decisions)
+        merged.sort(key=lambda record: (record.time, record.decision_id))
+        return merged
+
     def metrics(self) -> RunMetrics:
         """Score the completed run against ground truth."""
         assert self.ch is not None
         quiet_offset = (
             self.round_interval / 2.0 if self.quiet_windows else None
         )
+        decisions = self.all_decisions()
         outcomes, false_positives = score_run(
             self.events,
-            self.ch.decisions,
+            decisions,
             round_interval=self.round_interval,
             r_error=self.r_error if self.mode == "location" else None,
             quiet_window_offset=quiet_offset,
         )
         diagnosed: Tuple[int, ...] = ()
-        if self.ch.diagnoser is not None:
+        if self._retired_chs:
+            union: set = set()
+            for ch in (*self._retired_chs, self.ch):
+                if ch.diagnoser is not None:
+                    union.update(ch.diagnoser.diagnosed)
+            diagnosed = tuple(sorted(union))
+        elif self.ch.diagnoser is not None:
             diagnosed = self.ch.diagnoser.diagnosed
         n_quiet = len({e.time for e in self.events}) if self.quiet_windows else 0
         return RunMetrics(
             outcomes=outcomes,
             false_positive_decisions=false_positives,
             quiet_windows=n_quiet,
-            decisions_total=len(self.ch.decisions),
+            decisions_total=len(decisions),
             diagnosed_nodes=diagnosed,
             truly_faulty_nodes=tuple(sorted(self._ever_faulty)),
         )
@@ -469,6 +580,10 @@ class SimulationRun:
             "diagnosis_threshold": self.diagnosis_threshold,
             "concurrent_batch": self.concurrent_batch,
             "seed": self.seed,
+            "chaos_plan": (
+                None if self.chaos_plan is None
+                else self.chaos_plan.to_dict()
+            ),
         }
 
     def export_artifacts(self, out_dir) -> Dict[str, Path]:
@@ -494,7 +609,7 @@ class SimulationRun:
             timings=self.timings,
             counts={
                 "events": len(self.events),
-                "decisions": len(self.ch.decisions),
+                "decisions": len(self.all_decisions()),
                 "events_fired": self.sim.events_fired,
                 "trace_records": len(self.sim.trace),
                 "probe_samples": self.probe.n_samples,

@@ -13,11 +13,32 @@ supported for topology-sensitive scenarios.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, NamedTuple, Optional, Tuple
 
 from repro.network.messages import Message
 from repro.network.node import NetworkNode
 from repro.simkernel.simulator import Simulator
+
+
+class Intercept(NamedTuple):
+    """Verdict returned by a transmit interceptor.
+
+    ``drop=True`` discards the transmission (reason ``"chaos"``);
+    otherwise one copy is delivered per entry in ``extra_delays``, each
+    offset by that amount *on top of* the channel's natural delay.
+    Entries must be non-negative, so a perturbed copy can never precede
+    its own send.  ``Intercept(False, (0.0, 0.5))`` duplicates the
+    message with the copy half a second late.
+    """
+
+    drop: bool
+    extra_delays: Tuple[float, ...] = (0.0,)
+
+
+#: A transmit-path hook: ``fn(sender_id, receiver_id, now) -> verdict``.
+#: Returning ``None`` means "no opinion" -- the transmission proceeds
+#: exactly as if no interceptor were installed.
+Interceptor = Callable[[int, int, float], Optional[Intercept]]
 
 
 @dataclass(frozen=True)
@@ -55,6 +76,16 @@ class ChannelConfig:
             raise ValueError("propagation_delay must be non-negative")
         if self.jitter < 0:
             raise ValueError("jitter must be non-negative")
+        if self.jitter > self.propagation_delay:
+            # A jitter draw near -jitter would put the delivery at a
+            # negative offset -- scheduled before its own send -- which
+            # the old max(0) clamp silently folded onto the send instant,
+            # biasing the delay distribution instead of failing loudly.
+            raise ValueError(
+                f"jitter ({self.jitter}) must not exceed propagation_delay "
+                f"({self.propagation_delay}); a perturbed delivery could "
+                "otherwise precede its own transmission"
+            )
         if self.range_limit is not None and self.range_limit <= 0:
             raise ValueError("range_limit must be positive when set")
 
@@ -64,7 +95,8 @@ class DeliveryOutcome:
     """Result descriptor for a single transmission attempt."""
 
     delivered: bool
-    reason: str  # "ok", "dropped", "out-of-range", "dead-receiver", "unknown-destination"
+    reason: str  # "ok", "dropped", "out-of-range", "dead-receiver",
+    #              "unknown-destination", "chaos" (interceptor drop)
 
 
 class RadioChannel:
@@ -87,6 +119,7 @@ class RadioChannel:
         self._nodes: Dict[int, NetworkNode] = {}
         self._link_loss: Dict[Tuple[int, int], float] = {}
         self._taps: Dict[int, list] = {}
+        self._interceptor: Optional[Interceptor] = None
         self._rng = sim.streams.get("channel")
         self.sent = 0
         self.delivered = 0
@@ -136,6 +169,22 @@ class RadioChannel:
         self._link_loss.pop((sender, receiver), None)
 
     # ------------------------------------------------------------------
+    # Transmit interception (chaos fault injection)
+    # ------------------------------------------------------------------
+    def set_interceptor(self, interceptor: Optional[Interceptor]) -> None:
+        """Install (or, with ``None``, remove) the transmit-path hook.
+
+        The interceptor is consulted once per transmission that survives
+        the natural checks (registration, liveness, range, Bernoulli
+        loss) and may drop, delay, or duplicate the delivery -- see
+        :class:`Intercept`.  Only one interceptor may be installed at a
+        time; the uninstrumented hot path pays a single attribute check.
+        """
+        if interceptor is not None and self._interceptor is not None:
+            raise ValueError("an interceptor is already installed")
+        self._interceptor = interceptor
+
+    # ------------------------------------------------------------------
     # Promiscuous taps (shadow cluster heads, §3.4)
     # ------------------------------------------------------------------
     def add_tap(self, watched_id: int, tap: NetworkNode) -> None:
@@ -167,6 +216,7 @@ class RadioChannel:
         """
         self.sent += 1
         receiver = self._nodes.get(destination)
+        verdict: Optional[Intercept] = None
         if receiver is None:
             outcome = DeliveryOutcome(False, "unknown-destination")
         elif not receiver.alive:
@@ -176,7 +226,15 @@ class RadioChannel:
         elif self._rng.random() < self._loss_for(sender.node_id, destination):
             outcome = DeliveryOutcome(False, "dropped")
         else:
-            outcome = DeliveryOutcome(True, "ok")
+            interceptor = self._interceptor
+            if interceptor is not None:
+                verdict = interceptor(
+                    sender.node_id, destination, self._sim.now
+                )
+            if verdict is not None and verdict.drop:
+                outcome = DeliveryOutcome(False, "chaos")
+            else:
+                outcome = DeliveryOutcome(True, "ok")
 
         metrics = self._sim.metrics
         if metrics.enabled:
@@ -188,13 +246,15 @@ class RadioChannel:
                 metrics.counter(f"radio.drop.{outcome.reason}").inc()
         if outcome.delivered:
             self.delivered += 1
-            self._sim.after(
-                self._delay(),
-                self._deliver,
-                receiver,
-                message,
-                label=f"deliver:{type(message).__name__}",
-            )
+            delay = self._delay()
+            label = f"deliver:{type(message).__name__}"
+            if verdict is None:
+                self._sim.after(delay, self._deliver, receiver, message,
+                                label=label)
+            else:
+                for extra in verdict.extra_delays:
+                    self._sim.after(delay + extra, self._deliver, receiver,
+                                    message, label=label)
         else:
             self.dropped += 1
             self._sim.trace.emit(

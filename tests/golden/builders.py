@@ -1,0 +1,137 @@
+"""Builders for the golden-run regression fixtures.
+
+Each builder runs ONE fixed-seed point of an experiment -- scaled down
+from the paper's full grids so the suite stays fast, but through the
+exact production code path (the experiment module's own ``run_point`` /
+``run_decay``) -- and returns a JSON document whose every float must
+reproduce bit-identically on any later revision.
+
+The documents are normalised through a JSON round-trip before
+comparison, so list-vs-tuple differences vanish while float values are
+preserved exactly (Python's ``json`` serialises floats via ``repr``,
+which round-trips).
+
+Regenerate after an *intentional* behaviour change with::
+
+    make golden-save        # runs python -m tests.golden.generate
+
+and commit the diff; ``tests/integration/test_golden_runs.py`` fails on
+any unintentional drift.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from typing import Callable, Dict
+
+from repro.experiments import experiment1, experiment2, experiment3
+from repro.experiments.config import (
+    Experiment1Config,
+    Experiment2Config,
+    Experiment3Config,
+)
+from repro.experiments.experiment4 import Experiment4Config
+from repro.experiments import experiment4
+
+
+def _normalise(doc: Dict[str, object]) -> Dict[str, object]:
+    """JSON round-trip: tuples become lists, floats stay bit-exact."""
+    return json.loads(json.dumps(doc))
+
+
+def build_experiment1() -> Dict[str, object]:
+    """Fig. 2 point: binary, 60% faulty, trial 0, 40 events."""
+    config = replace(Experiment1Config(), events_per_run=40)
+    point, trial = 60.0, 0
+    return _normalise({
+        "experiment": 1,
+        "point": point,
+        "trial": trial,
+        "config": {
+            "n_nodes": config.n_nodes,
+            "events_per_run": config.events_per_run,
+            "seed": config.seed,
+            "lam": config.lam,
+        },
+        "accuracy": experiment1.run_point(config, point, trial),
+    })
+
+
+def build_experiment2() -> Dict[str, object]:
+    """Fig. 4 point: location, level 0, 30% faulty, trial 0, 36 nodes."""
+    config = replace(
+        Experiment2Config(), n_nodes=36, field_side=60.0, events_per_run=25
+    )
+    point, trial = 30.0, 0
+    return _normalise({
+        "experiment": 2,
+        "point": point,
+        "trial": trial,
+        "config": {
+            "n_nodes": config.n_nodes,
+            "events_per_run": config.events_per_run,
+            "seed": config.seed,
+            "lam": config.lam,
+            "fault_level": config.fault_level,
+        },
+        "accuracy": experiment2.run_point(config, point, trial),
+    })
+
+
+def build_experiment3() -> Dict[str, object]:
+    """Fig. 8 decay, trial 0: 36 nodes, 10-event windows, 5 steps."""
+    config = replace(
+        Experiment3Config(),
+        n_nodes=36,
+        field_side=60.0,
+        events_per_step=10,
+        initial_percent=10.0,
+        step_percent=10.0,
+        final_percent=50.0,
+    )
+    trial = 0
+    return _normalise({
+        "experiment": 3,
+        "trial": trial,
+        "config": {
+            "n_nodes": config.n_nodes,
+            "events_per_step": config.events_per_step,
+            "n_steps": config.n_steps,
+            "seed": config.seed,
+        },
+        "windows": experiment3.run_decay(config, trial),
+    })
+
+
+def build_experiment4() -> Dict[str, object]:
+    """Rotating network: 30% faulty, trial 0, trust + hand-off."""
+    config = Experiment4Config(
+        n_nodes=36,
+        field_side=60.0,
+        events_per_leadership=5,
+        leadership_rounds=3,
+    )
+    point, trial = 30.0, 0
+    return _normalise({
+        "experiment": 4,
+        "point": point,
+        "trial": trial,
+        "config": {
+            "n_nodes": config.n_nodes,
+            "events_per_leadership": config.events_per_leadership,
+            "leadership_rounds": config.leadership_rounds,
+            "seed": config.seed,
+        },
+        "accuracy": experiment4.run_point(
+            config, point, trial, use_trust=True, transfer_trust=True
+        ),
+    })
+
+
+BUILDERS: Dict[str, Callable[[], Dict[str, object]]] = {
+    "exp1": build_experiment1,
+    "exp2": build_experiment2,
+    "exp3": build_experiment3,
+    "exp4": build_experiment4,
+}

@@ -1,0 +1,28 @@
+"""Regenerate the golden fixtures: ``PYTHONPATH=src python -m tests.golden.generate``.
+
+Overwrites ``tests/golden/<name>.json`` for every builder.  Run this
+only after an intentional behaviour change, then review and commit the
+diff -- the fixtures are the regression baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from tests.golden.builders import BUILDERS
+
+FIXTURE_DIR = Path(__file__).resolve().parent
+
+
+def main() -> int:
+    for name, builder in sorted(BUILDERS.items()):
+        path = FIXTURE_DIR / f"{name}.json"
+        doc = builder()
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

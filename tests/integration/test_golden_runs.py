@@ -1,0 +1,48 @@
+"""Golden-run regression suite.
+
+Each test re-runs one fixed-seed experiment point through the
+production code path and asserts the result is *bit-identical* to the
+committed fixture -- every float compared exactly, no tolerances.  A
+failure here means behaviour drifted: either fix the regression, or, if
+the change is intentional, regenerate with ``make golden-save`` and
+commit the reviewed diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from tests.golden.builders import BUILDERS
+
+FIXTURE_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+
+def _load(name: str):
+    path = FIXTURE_DIR / f"{name}.json"
+    if not path.exists():
+        pytest.fail(
+            f"missing golden fixture {path}; run `make golden-save`"
+        )
+    return json.loads(path.read_text())
+
+
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+def test_golden_run_is_bit_identical(name):
+    expected = _load(name)
+    actual = BUILDERS[name]()
+    assert actual == expected, (
+        f"golden run {name!r} drifted from its fixture; if the change "
+        "is intentional, regenerate with `make golden-save` and commit "
+        "the diff"
+    )
+
+
+def test_fixture_floats_roundtrip():
+    # The bit-identity contract rests on json floats round-tripping
+    # exactly; guard the serialisation layer itself.
+    for name in BUILDERS:
+        doc = _load(name)
+        assert json.loads(json.dumps(doc)) == doc
