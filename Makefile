@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-save bench-compare profile examples figures golden-save chaos clean
+.PHONY: install test bench bench-save bench-compare bench-e2e bench-e2e-save profile examples figures golden-save chaos clean
 
 install:
 	pip install -e '.[test]'
@@ -23,6 +23,16 @@ bench-save:
 
 bench-compare:
 	$(PYTHON) benchmarks/bench_baseline.py compare
+
+# End-to-end wall-time benches: one fixed sweep point per experiment
+# through the production run_point/run_decay path (BENCH_e2e.json).
+# `bench-e2e` compares against the saved medians; `bench-e2e-save`
+# re-records them (prior numbers are kept in the file's history).
+bench-e2e:
+	$(PYTHON) benchmarks/bench_e2e.py compare
+
+bench-e2e-save:
+	$(PYTHON) benchmarks/bench_e2e.py save
 
 # cProfile one representative Experiment 2 sweep point and print the
 # top-20 cumulative functions -- the next hot spot, one command away.
