@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-save bench-compare bench-e2e bench-e2e-save profile examples figures golden-save chaos clean
+.PHONY: install test bench bench-save bench-compare bench-e2e bench-e2e-compare bench-e2e-save profile examples figures golden-save chaos clean
 
 install:
 	pip install -e '.[test]'
@@ -28,7 +28,9 @@ bench-compare:
 # through the production run_point/run_decay path (BENCH_e2e.json).
 # `bench-e2e` compares against the saved medians; `bench-e2e-save`
 # re-records them (prior numbers are kept in the file's history).
-bench-e2e:
+bench-e2e: bench-e2e-compare
+
+bench-e2e-compare:
 	$(PYTHON) benchmarks/bench_e2e.py compare
 
 bench-e2e-save:

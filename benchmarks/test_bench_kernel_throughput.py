@@ -249,3 +249,93 @@ def test_event_neighbors_n1000(benchmark):
 
     total = benchmark(run_queries)
     assert total > 0
+
+
+def _radio_net(n, loss=0.1, seed=3):
+    from repro.network.node import NetworkNode
+    from repro.network.radio import ChannelConfig, RadioChannel
+
+    sim = Simulator(seed=seed)
+    channel = RadioChannel(
+        sim,
+        ChannelConfig(loss_probability=loss, propagation_delay=0.01),
+    )
+    for i in range(n):
+        channel.register(NetworkNode(i, Point(float(i % 10), float(i // 10))))
+    return sim, channel
+
+
+def test_unicast_batch_throughput(benchmark):
+    """200 batched 49-report rounds into one CH (the harness hot path)."""
+    from repro.network.messages import EventReportMessage
+
+    sim, channel = _radio_net(50)
+    sender_ids = list(range(1, 50))
+
+    def run_batches():
+        for _ in range(200):
+            channel.unicast_batch(
+                sender_ids,
+                0,
+                [EventReportMessage(sender=i) for i in sender_ids],
+            )
+        sim.run()
+        return channel.sent
+
+    sent = benchmark(run_batches)
+    assert sent >= 200 * 49
+
+
+def test_unicast_loop_throughput(benchmark):
+    """The per-message oracle path at the same 200x49 scale, for contrast."""
+    from repro.network.messages import EventReportMessage
+
+    sim, channel = _radio_net(50)
+    sender_ids = list(range(1, 50))
+
+    def run_loops():
+        for _ in range(200):
+            for i in sender_ids:
+                channel.unicast(
+                    channel.node(i), 0, EventReportMessage(sender=i)
+                )
+        sim.run()
+        return channel.sent
+
+    sent = benchmark(run_loops)
+    assert sent >= 200 * 49
+
+
+def test_broadcast_throughput(benchmark):
+    """100 fanned-out broadcasts over a 100-node channel."""
+    from repro.network.messages import EventReportMessage
+
+    sim, channel = _radio_net(100)
+    sender = channel.node(0)
+
+    def run_broadcasts():
+        for _ in range(100):
+            channel.broadcast(sender, EventReportMessage(sender=0))
+        sim.run()
+        return channel.sent
+
+    sent = benchmark(run_broadcasts)
+    assert sent >= 100 * 99
+
+
+def test_shared_topology_setup(benchmark):
+    """500 memo-served deployments + indexes (the per-trial setup cost)."""
+    from repro.network.topology import shared_grid_deployment
+
+    region = Region.square(100.0)
+    shared_grid_deployment(100, region, index_cell=20.0)  # warm the memo
+
+    def run_setups():
+        total = 0
+        for _ in range(500):
+            d = shared_grid_deployment(100, region, index_cell=20.0)
+            total += len(d.event_neighbors(Point(50.0, 50.0), 20.0))
+        return total
+
+    total = benchmark(run_setups)
+    assert total > 0

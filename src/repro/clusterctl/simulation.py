@@ -38,7 +38,7 @@ from repro.clusterctl.shadow import ShadowClusterHead
 from repro.core.trust import TrustParameters
 from repro.network.geometry import Point, Region
 from repro.network.radio import ChannelConfig, RadioChannel
-from repro.network.topology import Deployment, grid_deployment
+from repro.network.topology import Deployment, shared_grid_deployment
 from repro.sensors.faults import CollusionCoordinator, NodeBehavior
 from repro.sensors.generator import EventGenerator, GroundTruthEvent
 from repro.sensors.node import SensorNode
@@ -177,7 +177,9 @@ class RotatingClusterSimulation:
         self.channel = RadioChannel(
             self.sim, ChannelConfig(loss_probability=channel_loss)
         )
-        self.deployment = grid_deployment(n_nodes, self.region)
+        self.deployment = shared_grid_deployment(
+            n_nodes, self.region, index_cell=sensing_radius
+        )
         self.energy = EnergyModel(self.deployment.node_ids())
         self.bs = BaseStation(
             node_id=self.BS_ID,

@@ -23,7 +23,7 @@ from repro.network.geometry import Point, Region
 from repro.network.radio import ChannelConfig, RadioChannel
 from repro.network.topology import (
     Deployment,
-    grid_deployment,
+    shared_grid_deployment,
     uniform_random_deployment,
 )
 from repro.sensors.faults import CollusionCoordinator, NodeBehavior
@@ -253,7 +253,14 @@ class SimulationRun:
             self.sim, ChannelConfig(loss_probability=self.channel_loss)
         )
         if self.deployment_kind == "grid":
-            self.deployment = grid_deployment(self.n_nodes, region)
+            # Grid geometry is RNG-free, so all trials of a sweep point
+            # share one memoised template (positions copied, spatial
+            # index snapshot shared) instead of rebuilding per trial.
+            # r_s is the cell size the location engine's ensure_index
+            # call asks for, so the shared snapshot is a direct hit.
+            self.deployment = shared_grid_deployment(
+                self.n_nodes, region, index_cell=self.sensing_radius
+            )
         else:
             self.deployment = uniform_random_deployment(
                 self.n_nodes, region, self.sim.streams.get("deployment")
@@ -473,12 +480,47 @@ class SimulationRun:
         )
         self.events.extend(batch)
         for event in batch:
-            for node in self.nodes.values():
-                node.sense_event(event)
+            self._dispatch_reports(
+                [
+                    (node, message)
+                    for node in self.nodes.values()
+                    if (message := node.compose_report(event)) is not None
+                ]
+            )
 
     def _fire_quiet_window(self) -> None:
-        for node in self.nodes.values():
-            node.quiet_window()
+        self._dispatch_reports(
+            [
+                (node, message)
+                for node in self.nodes.values()
+                if (message := node.compose_false_alarm()) is not None
+            ]
+        )
+
+    def _dispatch_reports(self, pending) -> None:
+        """Radio-transmit one round's composed reports as a single batch.
+
+        Composing first and transmitting second is bit-identical to the
+        per-node compose-and-send interleaving: behaviour draws live on
+        per-node streams, channel draws on the ``"channel"`` stream, and
+        each stream is still consumed in node order.  All reports of one
+        round target the same CH, so they ride ``unicast_batch``; if
+        cluster affiliations ever diverge mid-round, fall back to the
+        per-message oracle path.
+        """
+        if not pending:
+            return
+        assert self.channel is not None
+        ch_id = pending[0][0].ch_id
+        if all(node.ch_id == ch_id for node, _ in pending):
+            self.channel.unicast_batch(
+                [node.node_id for node, _ in pending],
+                ch_id,
+                [message for _, message in pending],
+            )
+        else:
+            for node, message in pending:
+                node.send(node.ch_id, message)
 
     def _apply_compromises(self, round_index: int) -> None:
         for order in self._compromises:

@@ -178,6 +178,7 @@ def run_sweep(
     *,
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
+    chunk_align: Optional[int] = None,
     progress: Optional[ProgressFn] = None,
 ) -> List[Any]:
     """Execute every task, returning results in task order.
@@ -191,6 +192,15 @@ def run_sweep(
         Tasks per worker dispatch (default: spread the grid about four
         chunks per worker to amortise task pickling without starving
         the pool at the tail).
+    chunk_align:
+        Round the *default* chunksize up to a multiple of this, so a
+        block of that many consecutive tasks always lands in one worker
+        process.  :func:`sweep_series` passes its trial count: all
+        trials of a sweep point then share one worker's per-process
+        topology memo (see ``shared_grid_deployment``) instead of each
+        worker rebuilding the point's geometry.  Results are unaffected
+        -- tasks are pure and reassembled in task order either way.  An
+        explicit ``chunksize`` wins over alignment.
     progress:
         Optional ``(done, total)`` callback.
 
@@ -238,6 +248,8 @@ def run_sweep(
 
     if chunksize is None:
         chunksize = max(1, total // (n_workers * 4))
+        if chunk_align is not None and chunk_align > 1:
+            chunksize = -(-chunksize // chunk_align) * chunk_align
     chunks = [
         (start, tasks[start : start + chunksize])
         for start in range(0, total, chunksize)
@@ -321,7 +333,9 @@ def sweep_series(
         for point in points
         for trial in range(trials)
     ]
-    samples = run_sweep(tasks, workers=workers, progress=progress)
+    samples = run_sweep(
+        tasks, workers=workers, chunk_align=trials, progress=progress
+    )
     series = Series(label=label)
     for i, point in enumerate(points):
         series.add(point, samples[i * trials : (i + 1) * trials])

@@ -41,6 +41,7 @@ from repro.network.radio import ChannelConfig, DeliveryOutcome, RadioChannel
 from repro.network.topology import (
     Deployment,
     grid_deployment,
+    shared_grid_deployment,
     uniform_random_deployment,
 )
 
@@ -66,6 +67,7 @@ __all__ = [
     "distance",
     "grid_deployment",
     "midpoint",
+    "shared_grid_deployment",
     "uniform_random_deployment",
     "weighted_centroid",
 ]

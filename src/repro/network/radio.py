@@ -13,7 +13,15 @@ supported for topology-sensitive scenarios.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, NamedTuple, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.network.messages import Message
 from repro.network.node import NetworkNode
@@ -99,6 +107,34 @@ class DeliveryOutcome:
     #              "unknown-destination", "chaos" (interceptor drop)
 
 
+# Every transmission resolves to one of six outcomes, so the hot path
+# hands out these shared instances instead of allocating a fresh
+# (frozen, hence immutable) descriptor per send.
+_OK = DeliveryOutcome(True, "ok")
+_DROPPED = DeliveryOutcome(False, "dropped")
+_OUT_OF_RANGE = DeliveryOutcome(False, "out-of-range")
+_DEAD_RECEIVER = DeliveryOutcome(False, "dead-receiver")
+_UNKNOWN_DESTINATION = DeliveryOutcome(False, "unknown-destination")
+_CHAOS = DeliveryOutcome(False, "chaos")
+
+#: Per-message-class cache of the ``deliver:<ClassName>`` event labels.
+_DELIVER_LABELS: Dict[type, str] = {}
+_FUSED_LABEL = "deliver:batch"
+
+#: Below this many messages the vector path's numpy round-trip costs
+#: more than it saves; both paths are bit-identical, so the crossover
+#: is purely a wall-time knob.
+_VECTOR_MIN = 4
+
+
+def _deliver_label(message_type: type) -> str:
+    label = _DELIVER_LABELS.get(message_type)
+    if label is None:
+        label = f"deliver:{message_type.__name__}"
+        _DELIVER_LABELS[message_type] = label
+    return label
+
+
 class RadioChannel:
     """Single-hop broadcast medium connecting :class:`NetworkNode` endpoints.
 
@@ -124,6 +160,14 @@ class RadioChannel:
         self.sent = 0
         self.delivered = 0
         self.dropped = 0
+        # Counter handles, rebound lazily whenever ``sim.metrics`` is a
+        # different registry than last time -- the instrumented path then
+        # skips the registry's per-send string lookups.
+        self._counter_src: Optional[object] = None
+        self._c_sent = None
+        self._c_delivered = None
+        self._c_dropped = None
+        self._c_drop: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Registration
@@ -218,13 +262,13 @@ class RadioChannel:
         receiver = self._nodes.get(destination)
         verdict: Optional[Intercept] = None
         if receiver is None:
-            outcome = DeliveryOutcome(False, "unknown-destination")
+            outcome = _UNKNOWN_DESTINATION
         elif not receiver.alive:
-            outcome = DeliveryOutcome(False, "dead-receiver")
+            outcome = _DEAD_RECEIVER
         elif not self._in_range(sender, receiver):
-            outcome = DeliveryOutcome(False, "out-of-range")
+            outcome = _OUT_OF_RANGE
         elif self._rng.random() < self._loss_for(sender.node_id, destination):
-            outcome = DeliveryOutcome(False, "dropped")
+            outcome = _DROPPED
         else:
             interceptor = self._interceptor
             if interceptor is not None:
@@ -232,22 +276,24 @@ class RadioChannel:
                     sender.node_id, destination, self._sim.now
                 )
             if verdict is not None and verdict.drop:
-                outcome = DeliveryOutcome(False, "chaos")
+                outcome = _CHAOS
             else:
-                outcome = DeliveryOutcome(True, "ok")
+                outcome = _OK
 
         metrics = self._sim.metrics
         if metrics.enabled:
-            metrics.counter("radio.sent").inc()
-            metrics.counter(
-                "radio.delivered" if outcome.delivered else "radio.dropped"
-            ).inc()
-            if not outcome.delivered:
-                metrics.counter(f"radio.drop.{outcome.reason}").inc()
+            if self._counter_src is not metrics:
+                self._rebind_counters(metrics)
+            self._c_sent.inc()
+            if outcome.delivered:
+                self._c_delivered.inc()
+            else:
+                self._c_dropped.inc()
+                self._drop_counter(outcome.reason).inc()
         if outcome.delivered:
             self.delivered += 1
             delay = self._delay()
-            label = f"deliver:{type(message).__name__}"
+            label = _deliver_label(type(message))
             if verdict is None:
                 self._sim.after(delay, self._deliver, receiver, message,
                                 label=label)
@@ -267,46 +313,358 @@ class RadioChannel:
             )
         return outcome
 
+    def unicast_batch(
+        self,
+        sender_ids: Sequence[int],
+        destination: int,
+        messages: Sequence[Message],
+    ) -> List[DeliveryOutcome]:
+        """Transmit ``messages[i]`` from ``sender_ids[i]`` to ``destination``.
+
+        Bit-identical to calling :meth:`unicast` once per message in
+        order -- same RNG stream consumption, same drop reasons, same
+        interceptor consultation -- but the Bernoulli loss trials are
+        drawn as one numpy vector and the surviving deliveries are
+        scheduled as a single fused kernel event, so an N-report round
+        costs one heap push instead of N.  Every sender must be a
+        registered endpoint (senders transmit from their registered
+        position).
+        """
+        if len(sender_ids) != len(messages):
+            raise ValueError(
+                f"sender/message length mismatch: {len(sender_ids)} senders "
+                f"vs {len(messages)} messages"
+            )
+        nodes = self._nodes
+        try:
+            entries = [
+                (nodes[sender_id], destination, message)
+                for sender_id, message in zip(sender_ids, messages)
+            ]
+        except KeyError as exc:
+            raise ValueError(f"unknown sender id {exc.args[0]}") from None
+        return self._transmit_many(entries, common_destination=destination)
+
     def broadcast(self, sender: NetworkNode, message: Message) -> int:
         """Transmit to every other live endpoint; returns deliveries started.
 
         Each receiver suffers an independent loss trial, matching a
-        contention-free broadcast over independent fading links.
+        contention-free broadcast over independent fading links.  Routed
+        through the same batched core as :meth:`unicast_batch`, so a
+        CH decision announcement to N cluster members costs one fused
+        delivery event.
         """
-        started = 0
-        for node_id in sorted(self._nodes):
-            if node_id == sender.node_id:
-                continue
-            if self.unicast(sender, node_id, message).delivered:
-                started += 1
-        return started
+        entries = [
+            (sender, node_id, message)
+            for node_id in sorted(self._nodes)
+            if node_id != sender.node_id
+        ]
+        outcomes = self._transmit_many(entries)
+        return sum(1 for outcome in outcomes if outcome.delivered)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _transmit_many(
+        self,
+        entries: List[Tuple[NetworkNode, int, Message]],
+        common_destination: Optional[int] = None,
+    ) -> List[DeliveryOutcome]:
+        """Batched transmit core: the vectorised twin of :meth:`unicast`.
+
+        The per-message path IS the semantics; this method must replay
+        it exactly (see ``tests/network/test_radio_batch.py``).  The
+        vector path applies only when ``jitter == 0``: with jitter on,
+        the oracle interleaves a loss draw and a jitter draw per message
+        on the ``"channel"`` stream, an order a single vector draw
+        cannot reproduce, so jittered channels take the per-message
+        loop (which, being the oracle, is bit-identical by definition).
+
+        ``common_destination`` marks the every-entry-targets-one-node
+        shape (:meth:`unicast_batch`): the receiver's registration and
+        liveness are then checked once for the whole batch -- valid
+        because no event can run between the entries of one batch.
+        """
+        if self.config.jitter > 0 or len(entries) < _VECTOR_MIN:
+            return [
+                self.unicast(sender, destination, message)
+                for sender, destination, message in entries
+            ]
+        n = len(entries)
+        self.sent += n
+        nodes = self._nodes
+        link_loss = self._link_loss
+        default_loss = self.config.loss_probability
+        range_limit = self.config.range_limit
+        outcomes: List[Optional[DeliveryOutcome]] = [None] * n
+        receivers: List[Optional[NetworkNode]] = [None] * n
+        pend_idx: List[int] = []
+        pend_loss: List[float] = []
+
+        if common_destination is not None:
+            shared = nodes.get(common_destination)
+            if shared is None:
+                outcomes = [_UNKNOWN_DESTINATION] * n
+            elif not shared.alive:
+                outcomes = [_DEAD_RECEIVER] * n
+            elif range_limit is None and not link_loss:
+                # The sweep shape: one live CH, unlimited range, uniform
+                # loss -- every entry pends with the default probability.
+                receivers = [shared] * n
+                pend_idx = list(range(n))
+                pend_loss = [default_loss] * n
+            else:
+                for i, (sender, destination, message) in enumerate(entries):
+                    if range_limit is not None and not self._in_range(
+                        sender, shared
+                    ):
+                        outcomes[i] = _OUT_OF_RANGE
+                        continue
+                    receivers[i] = shared
+                    pend_idx.append(i)
+                    pend_loss.append(
+                        link_loss.get(
+                            (sender.node_id, destination), default_loss
+                        )
+                        if link_loss
+                        else default_loss
+                    )
+        else:
+            for i, (sender, destination, message) in enumerate(entries):
+                receiver = nodes.get(destination)
+                if receiver is None:
+                    outcomes[i] = _UNKNOWN_DESTINATION
+                elif not receiver.alive:
+                    outcomes[i] = _DEAD_RECEIVER
+                elif range_limit is not None and not self._in_range(
+                    sender, receiver
+                ):
+                    outcomes[i] = _OUT_OF_RANGE
+                else:
+                    receivers[i] = receiver
+                    pend_idx.append(i)
+                    pend_loss.append(
+                        link_loss.get(
+                            (sender.node_id, destination), default_loss
+                        )
+                        if link_loss
+                        else default_loss
+                    )
+
+        # One vectorised draw consumes the "channel" stream exactly as
+        # len(pend_idx) sequential scalar draws would (PCG64 guarantees
+        # value- and state-identity), so the oracle's stream position is
+        # preserved.  Interceptors are then consulted in message order,
+        # preserving the "chaos" stream's order too.
+        verdicts: Dict[int, Intercept] = {}
+        n_ok = 0
+        if pend_idx:
+            draws = self._rng.random(len(pend_idx)).tolist()
+            interceptor = self._interceptor
+            now = self._sim.now
+            for k, i in enumerate(pend_idx):
+                if draws[k] < pend_loss[k]:
+                    outcomes[i] = _DROPPED
+                    continue
+                if interceptor is not None:
+                    verdict = interceptor(
+                        entries[i][0].node_id, entries[i][1], now
+                    )
+                    if verdict is not None:
+                        if verdict.drop:
+                            outcomes[i] = _CHAOS
+                            continue
+                        verdicts[i] = verdict
+                outcomes[i] = _OK
+                n_ok += 1
+
+        sim = self._sim
+        delay = self.config.propagation_delay
+        n_delivered = n_ok
+        drop_tally: Optional[Dict[str, int]] = None
+        if n_delivered == n:
+            # Everything survived: one fused event, no per-entry branch.
+            if not verdicts:
+                self._schedule_fused(
+                    delay,
+                    [
+                        (receivers[i], entries[i][2])
+                        for i in range(n)
+                    ],
+                )
+            else:
+                self._schedule_mixed(delay, entries, receivers, verdicts)
+        else:
+            drop_tally = self._schedule_with_drops(
+                delay, entries, outcomes, receivers, verdicts
+            )
+
+        n_dropped = n - n_delivered
+        self.delivered += n_delivered
+        self.dropped += n_dropped
+        metrics = sim.metrics
+        if metrics.enabled:
+            if self._counter_src is not metrics:
+                self._rebind_counters(metrics)
+            self._c_sent.inc(n)
+            if n_delivered:
+                self._c_delivered.inc(n_delivered)
+            if n_dropped:
+                self._c_dropped.inc(n_dropped)
+                assert drop_tally is not None
+                for reason, count in drop_tally.items():
+                    self._drop_counter(reason).inc(count)
+        return outcomes
+
+    def _schedule_mixed(
+        self,
+        delay: float,
+        entries: List[Tuple[NetworkNode, int, Message]],
+        receivers: List[Optional[NetworkNode]],
+        verdicts: Dict[int, Intercept],
+    ) -> None:
+        """Schedule an all-delivered batch containing intercept verdicts."""
+        sim = self._sim
+        fused: List[Tuple[NetworkNode, Message]] = []
+        for i, (_sender, _destination, message) in enumerate(entries):
+            verdict = verdicts.get(i)
+            if verdict is None:
+                fused.append((receivers[i], message))
+                continue
+            # Flush the fused buffer first so the intercepted copies
+            # keep their same-instant sequence ordering relative to the
+            # plain deliveries around them.
+            if fused:
+                self._schedule_fused(delay, fused)
+                fused = []
+            label = _deliver_label(type(message))
+            for extra in verdict.extra_delays:
+                sim.after(delay + extra, self._deliver, receivers[i],
+                          message, label=label)
+        if fused:
+            self._schedule_fused(delay, fused)
+
+    def _schedule_with_drops(
+        self,
+        delay: float,
+        entries: List[Tuple[NetworkNode, int, Message]],
+        outcomes: List[DeliveryOutcome],
+        receivers: List[Optional[NetworkNode]],
+        verdicts: Dict[int, Intercept],
+    ) -> Dict[str, int]:
+        """Schedule a batch with at least one drop; returns the tally."""
+        sim = self._sim
+        trace = sim.trace
+        trace_on = trace.enabled or trace.count_when_disabled
+        now = sim.now
+        drop_tally: Dict[str, int] = {}
+        fused: List[Tuple[NetworkNode, Message]] = []
+        for i, (sender, destination, message) in enumerate(entries):
+            outcome = outcomes[i]
+            if outcome.delivered:
+                verdict = verdicts.get(i)
+                if verdict is None:
+                    fused.append((receivers[i], message))
+                else:
+                    if fused:
+                        self._schedule_fused(delay, fused)
+                        fused = []
+                    label = _deliver_label(type(message))
+                    for extra in verdict.extra_delays:
+                        sim.after(delay + extra, self._deliver,
+                                  receivers[i], message, label=label)
+            else:
+                reason = outcome.reason
+                drop_tally[reason] = drop_tally.get(reason, 0) + 1
+                if trace_on:
+                    trace.emit(
+                        now,
+                        "radio.drop",
+                        sender=sender.node_id,
+                        destination=destination,
+                        reason=reason,
+                        message=type(message).__name__,
+                    )
+        if fused:
+            self._schedule_fused(delay, fused)
+        return drop_tally
+
+    def _schedule_fused(
+        self, delay: float, deliveries: List[Tuple[NetworkNode, Message]]
+    ) -> None:
+        if len(deliveries) == 1:
+            receiver, message = deliveries[0]
+            self._sim.after(delay, self._deliver, receiver, message,
+                            label=_deliver_label(type(message)))
+        else:
+            self._sim.after(delay, self._deliver_fused, deliveries,
+                            label=_FUSED_LABEL)
+
+    def _deliver_fused(
+        self, deliveries: List[Tuple[NetworkNode, Message]]
+    ) -> None:
+        # The oracle's N deliver events carry consecutive heap sequences
+        # at one timestamp, so nothing can interleave between them; one
+        # event delivering in the same relative order is bit-identical
+        # (liveness is still re-checked per message at delivery time,
+        # because an earlier delivery in this very batch may kill a
+        # later receiver).
+        trace = self._sim.trace
+        if trace.enabled or trace.count_when_disabled:
+            for receiver, message in deliveries:
+                self._deliver(receiver, message)
+            return
+        for receiver, message in deliveries:
+            # A handler can install a tap mid-batch, so re-check taps
+            # per message, exactly as per-event delivery would.
+            if self._taps:
+                self._deliver(receiver, message)
+            elif receiver.alive:
+                receiver.on_message(message)
+
+    def _rebind_counters(self, metrics) -> None:
+        self._counter_src = metrics
+        self._c_sent = metrics.counter("radio.sent")
+        self._c_delivered = metrics.counter("radio.delivered")
+        self._c_dropped = metrics.counter("radio.dropped")
+        self._c_drop = {}
+
+    def _drop_counter(self, reason: str):
+        counter = self._c_drop.get(reason)
+        if counter is None:
+            counter = self._counter_src.counter(f"radio.drop.{reason}")
+            self._c_drop[reason] = counter
+        return counter
+
     def _deliver(self, receiver: NetworkNode, message: Message) -> None:
+        trace = self._sim.trace
+        trace_on = trace.enabled or trace.count_when_disabled
         if not receiver.alive:
             # Receiver died between transmit and delivery.
-            self._sim.trace.emit(
+            if trace_on:
+                trace.emit(
+                    self._sim.now,
+                    "radio.drop",
+                    sender=message.sender,
+                    destination=receiver.node_id,
+                    reason="died-in-flight",
+                    message=type(message).__name__,
+                )
+            return
+        if trace_on:
+            trace.emit(
                 self._sim.now,
-                "radio.drop",
+                "radio.deliver",
                 sender=message.sender,
                 destination=receiver.node_id,
-                reason="died-in-flight",
                 message=type(message).__name__,
             )
-            return
-        self._sim.trace.emit(
-            self._sim.now,
-            "radio.deliver",
-            sender=message.sender,
-            destination=receiver.node_id,
-            message=type(message).__name__,
-        )
         receiver.on_message(message)
-        for tap in self._taps.get(receiver.node_id, ()):
-            if tap.alive and tap.node_id != message.sender:
-                tap.on_message(message)
+        taps = self._taps
+        if taps:
+            for tap in taps.get(receiver.node_id, ()):
+                if tap.alive and tap.node_id != message.sender:
+                    tap.on_message(message)
 
     def _loss_for(self, sender: int, receiver: int) -> float:
         return self._link_loss.get(

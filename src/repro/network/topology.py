@@ -352,6 +352,64 @@ def grid_deployment(
     return deployment
 
 
+#: Per-process memo behind :func:`shared_grid_deployment`: deployment
+#: key -> (template positions, {cell size -> prebuilt _SpatialGrid}).
+#: Bounded so a pathological sweep over many geometries cannot grow it
+#: without limit; eviction is wholesale (the memo is a pure cache).
+_SHARED_GRID_MEMO: Dict[
+    Tuple[int, int, float, float, float, float],
+    Tuple[Dict[int, Point], Dict[float, _SpatialGrid]],
+] = {}
+_SHARED_GRID_MEMO_MAX = 32
+
+
+def shared_grid_deployment(
+    n_nodes: int,
+    region: Region,
+    first_id: int = 0,
+    index_cell: Optional[float] = None,
+) -> Deployment:
+    """A :func:`grid_deployment` served from a per-process memo.
+
+    Grid placement is a pure function of ``(n_nodes, region bounds,
+    first_id)`` -- no RNG -- so all trials of one sweep point can share
+    the precomputed geometry: the returned :class:`Deployment` gets a
+    *copy* of the memoised positions dict (:class:`Point` values are
+    immutable and shared) and, when ``index_cell`` is given, a reference
+    to the shared prebuilt :class:`_SpatialGrid` snapshot for that cell
+    size.  Snapshots are immutable and mutation invalidates by replacing
+    the reference (``add``/``remove``/``move`` set ``_grid = None``), so
+    one trial mutating its deployment never perturbs another.  Results
+    are bit-identical to building from scratch; only the wall time
+    changes.
+    """
+    key = (
+        n_nodes,
+        first_id,
+        region.x_min,
+        region.x_max,
+        region.y_min,
+        region.y_max,
+    )
+    entry = _SHARED_GRID_MEMO.get(key)
+    if entry is None:
+        if len(_SHARED_GRID_MEMO) >= _SHARED_GRID_MEMO_MAX:
+            _SHARED_GRID_MEMO.clear()
+        template = grid_deployment(n_nodes, region, first_id)
+        entry = (template.positions, {})
+        _SHARED_GRID_MEMO[key] = entry
+    positions, grids = entry
+    deployment = Deployment(region=region, positions=dict(positions))
+    if index_cell is not None and index_cell > 0 and n_nodes > 0:
+        grid = grids.get(index_cell)
+        if grid is None:
+            grid = _SpatialGrid(positions, index_cell)
+            grids[index_cell] = grid
+        deployment._preferred_cell = index_cell
+        deployment._grid = grid
+    return deployment
+
+
 def clustered_deployment(
     cluster_centers: Sequence[Point],
     nodes_per_cluster: int,

@@ -94,29 +94,51 @@ class SensorNode(NetworkNode):
         malicious node cannot report what it cannot coordinate on, and
         the paper's event generator only informs event neighbours.
         """
+        message = self.compose_report(event)
+        if message is not None:
+            self.send(self.ch_id, message)
+
+    def quiet_window(self) -> None:
+        """A no-event interval: the behaviour may raise a false alarm."""
+        message = self.compose_false_alarm()
+        if message is not None:
+            self.send(self.ch_id, message)
+
+    def compose_report(self, event: GroundTruthEvent) -> Optional[EventReportMessage]:
+        """Build (but do not transmit) this node's report on ``event``.
+
+        Everything :meth:`sense_event` does up to the radio -- the
+        physics gate, behaviour consultation (including any draws on
+        this node's private stream), and report encoding -- so a caller
+        can collect one round's reports and hand them to
+        ``RadioChannel.unicast_batch`` in a single call.  Returns
+        ``None`` when the node stays silent.
+        """
         if not self.alive:
-            return
+            return None
         if not self.sensing.detects(self.position, event.location):
-            return
+            return None
         self.events_sensed += 1
         if isinstance(self.behavior, Level2Behavior):
             self.behavior.set_event_token(event.event_id)
         claim = self.behavior.on_event(
             self.position, event.location, self._rng
         )
-        if claim is not None:
-            self._transmit(claim, event_id=event.event_id)
+        if claim is None:
+            return None
+        return self._compose(claim, event_id=event.event_id)
 
-    def quiet_window(self) -> None:
-        """A no-event interval: the behaviour may raise a false alarm."""
+    def compose_false_alarm(self) -> Optional[EventReportMessage]:
+        """Build (but do not transmit) a quiet-window false alarm, if any."""
         if not self.alive:
-            return
+            return None
         region = self.region
         if region is None:
-            return
+            return None
         claim = self.behavior.on_quiet_window(self.position, region, self._rng)
-        if claim is not None:
-            self._transmit(claim, event_id=None)
+        if claim is None:
+            return None
+        return self._compose(claim, event_id=None)
 
     # ------------------------------------------------------------------
     # Radio
@@ -140,15 +162,14 @@ class SensorNode(NetworkNode):
         elif self.node_id in message.non_reporters:
             self.behavior.observe_outcome(rewarded=not message.occurred)
 
-    def _transmit(self, claimed_location: Point, event_id: Optional[int]) -> None:
+    def _compose(
+        self, claimed_location: Point, event_id: Optional[int]
+    ) -> EventReportMessage:
         offset = self.sensing.encode_report(self.position, claimed_location)
         self.reports_sent += 1
-        self.send(
-            self.ch_id,
-            EventReportMessage(
-                sender=self.node_id,
-                event_id=event_id,
-                offset=offset,
-                claimed=True,
-            ),
+        return EventReportMessage(
+            sender=self.node_id,
+            event_id=event_id,
+            offset=offset,
+            claimed=True,
         )

@@ -206,3 +206,33 @@ class TestSweepSeries:
         assert series.means() == [4.0, 9.0]
         assert all(p.trials == 3 for p in series.points)
         assert all(math.isclose(p.std, 0.0) for p in series.points)
+
+
+class TestChunkAlignment:
+    def test_aligned_parallel_matches_serial(self):
+        tasks = [
+            SweepTask(fn=_square, args=(None, float(p), t),
+                      point=float(p), trial=t)
+            for p in range(5)
+            for t in range(3)
+        ]
+        serial = run_sweep(tasks, workers=1)
+        aligned = run_sweep(tasks, workers=2, chunk_align=3)
+        assert aligned == serial
+
+    def test_explicit_chunksize_wins_over_alignment(self):
+        tasks = [
+            SweepTask(fn=_square, args=(None, float(p), t))
+            for p in range(4)
+            for t in range(3)
+        ]
+        serial = run_sweep(tasks, workers=1)
+        result = run_sweep(tasks, workers=2, chunksize=1, chunk_align=3)
+        assert result == serial
+
+    def test_alignment_of_one_is_a_noop(self):
+        tasks = [SweepTask(fn=_square, args=(None, float(p), 0))
+                 for p in range(6)]
+        assert run_sweep(tasks, workers=2, chunk_align=1) == (
+            run_sweep(tasks, workers=1)
+        )

@@ -1,0 +1,107 @@
+"""Tests for the memoised shared grid deployment.
+
+``shared_grid_deployment`` must be observably indistinguishable from
+``grid_deployment`` -- same positions, same query answers -- while
+actually sharing the precomputed geometry and spatial-index snapshot
+across calls within one process.
+"""
+
+import pytest
+
+from repro.network.geometry import Point, Region
+from repro.network.topology import (
+    _SHARED_GRID_MEMO,
+    _SHARED_GRID_MEMO_MAX,
+    grid_deployment,
+    shared_grid_deployment,
+)
+
+REGION = Region(0.0, 0.0, 100.0, 100.0)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("n", [0, 1, 7, 100])
+    def test_positions_match_grid_deployment(self, n):
+        plain = grid_deployment(n, REGION)
+        shared = shared_grid_deployment(n, REGION)
+        assert shared.positions == plain.positions
+        assert shared.region == plain.region
+
+    def test_first_id_respected(self):
+        plain = grid_deployment(9, REGION, first_id=10)
+        shared = shared_grid_deployment(9, REGION, first_id=10)
+        assert shared.positions == plain.positions
+
+    def test_event_neighbors_match(self):
+        plain = grid_deployment(100, REGION)
+        shared = shared_grid_deployment(100, REGION, index_cell=20.0)
+        for location in (Point(50.0, 50.0), Point(5.0, 95.0)):
+            assert shared.event_neighbors(location, 20.0) == (
+                plain.event_neighbors(location, 20.0)
+            )
+            assert shared.nearest(location, 3) == plain.nearest(location, 3)
+
+
+class TestSharing:
+    def test_grid_snapshot_shared_across_calls(self):
+        a = shared_grid_deployment(100, REGION, index_cell=20.0)
+        b = shared_grid_deployment(100, REGION, index_cell=20.0)
+        assert a is not b
+        assert a.positions is not b.positions
+        assert a._grid is not None
+        assert a._grid is b._grid  # the memoised immutable snapshot
+
+    def test_ensure_index_same_cell_keeps_shared_snapshot(self):
+        # The harness calls ensure_index(sensing_radius) after build;
+        # with a matching index_cell that must be a no-op, not a rebuild.
+        a = shared_grid_deployment(100, REGION, index_cell=20.0)
+        snapshot = a._grid
+        a.ensure_index(20.0)
+        assert a._grid is snapshot
+
+    def test_different_cell_sizes_get_distinct_snapshots(self):
+        a = shared_grid_deployment(100, REGION, index_cell=20.0)
+        b = shared_grid_deployment(100, REGION, index_cell=10.0)
+        assert a._grid is not b._grid
+        assert a._grid.cell == 20.0
+        assert b._grid.cell == 10.0
+
+    def test_no_index_cell_builds_lazily(self):
+        d = shared_grid_deployment(100, REGION)
+        assert d._grid is None
+
+
+class TestIsolation:
+    def test_mutating_one_deployment_never_touches_another(self):
+        a = shared_grid_deployment(100, REGION, index_cell=20.0)
+        b = shared_grid_deployment(100, REGION, index_cell=20.0)
+        before = b.event_neighbors(Point(50.0, 50.0), 20.0)
+        a.remove(44)
+        # Mutation invalidates by replacing the reference, so the shared
+        # snapshot (still held by b) is untouched.
+        assert a._grid is None
+        assert 44 not in a.event_neighbors(Point(50.0, 50.0), 60.0)
+        assert b.event_neighbors(Point(50.0, 50.0), 20.0) == before
+        # And the memo still serves the unmutated template.
+        c = shared_grid_deployment(100, REGION, index_cell=20.0)
+        assert 44 in c.positions
+
+    def test_move_and_add_invalidate_only_locally(self):
+        a = shared_grid_deployment(100, REGION, index_cell=20.0)
+        b = shared_grid_deployment(100, REGION, index_cell=20.0)
+        a.move(0, Point(99.0, 99.0))
+        a.add(500, Point(1.0, 1.0))
+        assert b.position_of(0) != Point(99.0, 99.0)
+        assert 500 not in b
+
+
+class TestMemoBound:
+    def test_memo_is_bounded(self):
+        _SHARED_GRID_MEMO.clear()
+        for i in range(_SHARED_GRID_MEMO_MAX + 5):
+            region = Region(0.0, 0.0, 10.0 + i, 10.0)
+            shared_grid_deployment(9, region)
+        assert len(_SHARED_GRID_MEMO) <= _SHARED_GRID_MEMO_MAX
+        # Eviction is wholesale; the cache refills and stays correct.
+        d = shared_grid_deployment(9, REGION)
+        assert d.positions == grid_deployment(9, REGION).positions
