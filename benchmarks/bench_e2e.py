@@ -36,17 +36,41 @@ import argparse
 import json
 import platform
 import statistics
+import subprocess
 import sys
 from dataclasses import replace
 from pathlib import Path
 from time import perf_counter
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 BASELINE_PATH = REPO_ROOT / "BENCH_e2e.json"
 DEFAULT_REPEATS = 5
+
+
+def git_sha() -> Optional[str]:
+    """Short commit hash of the snapshot being measured (None outside git)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def queue_backend() -> str:
+    """The scheduler backend these numbers were measured under."""
+    from repro.simkernel.calqueue import resolve_queue_backend
+
+    return resolve_queue_backend()
 
 
 def _bench_exp1() -> None:
@@ -134,6 +158,8 @@ def cmd_save(args: argparse.Namespace) -> int:
                 {
                     "label": previous.get("label", "unlabelled"),
                     "python": previous.get("python"),
+                    "git_sha": previous.get("git_sha"),
+                    "queue_backend": previous.get("queue_backend"),
                     "benchmarks": previous["benchmarks"],
                 }
             )
@@ -143,6 +169,8 @@ def cmd_save(args: argparse.Namespace) -> int:
             "see `make bench-e2e`"
         ),
         "label": args.label,
+        "git_sha": git_sha(),
+        "queue_backend": queue_backend(),
         "python": platform.python_version(),
         "machine": platform.machine(),
         "repeats": args.repeats,

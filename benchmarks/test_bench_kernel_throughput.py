@@ -323,6 +323,94 @@ def test_broadcast_throughput(benchmark):
     assert sent >= 100 * 99
 
 
+def _chain_10k(backend):
+    """Schedule-and-fire cost for 10k chained events on one backend."""
+    sim = Simulator(seed=0, queue=backend)
+    remaining = [10_000]
+
+    def tick():
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sim.after(0.001, tick)
+
+    sim.after(0.001, tick)
+    sim.run()
+    return sim.events_fired
+
+
+def test_kernel_chain_calendar(benchmark):
+    """The 10k event chain pinned to the calendar-queue backend."""
+    fired = benchmark(_chain_10k, "calendar")
+    assert fired == 10_000
+
+
+def test_kernel_chain_heap(benchmark):
+    """The 10k event chain pinned to the heap oracle, for the ratio."""
+    fired = benchmark(_chain_10k, "heap")
+    assert fired == 10_000
+
+
+def _periodic_timers(backend):
+    """64 interleaved periodic timers x ~160 firings each.
+
+    The calendar backend re-arms a periodic timer in place (the fused
+    ``rearm`` path recycles the arena slot); the heap pays a fresh
+    push per firing.  This bench tracks that gap.
+    """
+    sim = Simulator(seed=0, queue=backend)
+    fired = [0]
+
+    def tick():
+        fired[0] += 1
+
+    for i in range(64):
+        sim.every(0.01 + 0.0001 * i, tick, count=160)
+    sim.run()
+    return fired[0]
+
+
+def test_kernel_periodic_calendar(benchmark):
+    fired = benchmark(_periodic_timers, "calendar")
+    assert fired == 64 * 160
+
+
+def test_kernel_periodic_heap(benchmark):
+    fired = benchmark(_periodic_timers, "heap")
+    assert fired == 64 * 160
+
+
+def _cancel_heavy(backend):
+    """Schedule 20k events, cancel half before they fire.
+
+    Mirrors collection-window churn: a decision cancels the window's
+    pending timeout.  The calendar backend must both skip tombstones
+    during bucket scans and reclaim slots through the purge path.
+    """
+    sim = Simulator(seed=0, queue=backend)
+    fired = [0]
+
+    def tick():
+        fired[0] += 1
+
+    handles = [
+        sim.after(0.001 * (i % 997) + 0.0005, tick) for i in range(20_000)
+    ]
+    for handle in handles[::2]:
+        handle.cancel()
+    sim.run()
+    return fired[0]
+
+
+def test_kernel_cancel_heavy_calendar(benchmark):
+    fired = benchmark(_cancel_heavy, "calendar")
+    assert fired == 10_000
+
+
+def test_kernel_cancel_heavy_heap(benchmark):
+    fired = benchmark(_cancel_heavy, "heap")
+    assert fired == 10_000
+
+
 def test_shared_topology_setup(benchmark):
     """500 memo-served deployments + indexes (the per-trial setup cost)."""
     from repro.network.topology import shared_grid_deployment

@@ -364,7 +364,9 @@ class ClusterHead(NetworkNode):
         return self.diagnoser.excluded_nodes()
 
     def _excluded(self, node_id: int) -> bool:
-        return node_id in self._excluded_set()
+        if self.diagnoser is None:
+            return False
+        return self.diagnoser.is_excluded(node_id)
 
     def flush(self) -> None:
         """Close any open collection windows immediately (end of run)."""

@@ -417,10 +417,21 @@ class RotatingClusterSimulation:
     def _fire_event(self) -> None:
         event = self.generator.next_event(time=self.sim.now)
         self.events.append(event)
-        for node in self.nodes.values():
-            if node.node_id in self._active_chs:
+        nodes = self.nodes
+        active = self._active_chs
+        # Event neighbours only: sense_event's detects gate uses the
+        # same radius and the same correctly-rounded distance expression
+        # as the spatial index, and ids come back sorted ascending (the
+        # node-dict insertion order), so send order over the channel
+        # stream is identical to the full sweep.
+        for node_id in self.deployment.event_neighbors(
+            event.location, self.sensing_radius
+        ):
+            if node_id in active:
                 continue  # the leading node's radio serves its CH role
-            node.sense_event(event)
+            node = nodes.get(node_id)
+            if node is not None:
+                node.sense_event(event)
 
     # ------------------------------------------------------------------
     # Results

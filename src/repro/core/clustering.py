@@ -60,8 +60,8 @@ _MAX_ROUNDS = 100
 #: Report-count crossover between the scalar reference path and the
 #: numpy flat-array path.  Below this, numpy's per-call overhead
 #: (array creation, ufunc dispatch) outweighs the vectorisation win;
-#: measured on this container the paths break even at ~8 reports.
-_NUMPY_MIN_REPORTS = 8
+#: measured on this container the paths break even at ~18 reports.
+_NUMPY_MIN_REPORTS = 18
 
 
 @dataclass(frozen=True)
@@ -135,24 +135,42 @@ def cluster_reports_reference(
 def _cluster_reports_scalar(
     locations: Sequence[Point], r_error: float
 ) -> List[ReportCluster]:
-    centers = _seed_centers(locations, r_error)
+    i, j = farthest_pair(locations)
+    if locations[i].distance_to(locations[j]) <= r_error:
+        # The window's diameter is within r_error: the rounds provably
+        # converge to a single all-member cluster (both seed centroids
+        # lie inside the window's hull, so step 5 merges them at once),
+        # and its centre of gravity is the same left-to-right centroid
+        # _build_clusters would produce.  This is the no-fault common
+        # case -- skip the seeding and assignment rounds entirely.
+        return [
+            ReportCluster(
+                indices=tuple(range(len(locations))),
+                center=centroid(locations),
+            )
+        ]
+    centers = _seed_centers(locations, r_error, i, j)
+    # Each round ends with an assignment against its final centres, and
+    # the next round would open by recomputing that very assignment
+    # (same centres, same points) -- carry it forward instead.
     assignment: List[int] = []
+    current = _assign(locations, centers)
     for _ in range(_MAX_ROUNDS):
-        new_assignment = _assign(locations, centers)
-        centers = _recenter(locations, new_assignment, len(centers))
-        centers, new_assignment = _merge_close_centers(
+        centers = _recenter(locations, current, len(centers))
+        centers, current = _merge_close_centers(
             locations, centers, r_error
         )
-        if new_assignment == assignment:
+        if current == assignment:
             break
-        assignment = new_assignment
+        assignment = current
 
     return _build_clusters(locations, assignment)
 
 
-def _seed_centers(locations: Sequence[Point], r_error: float) -> List[Point]:
-    """Steps 1-3: farthest pair seeds, then greedy coverage seeds."""
-    i, j = farthest_pair(locations)
+def _seed_centers(
+    locations: Sequence[Point], r_error: float, i: int, j: int
+) -> List[Point]:
+    """Steps 2-3: the farthest pair ``(i, j)`` seeds, then coverage seeds."""
     centers = [locations[i], locations[j]]
     for k, loc in enumerate(locations):
         if k in (i, j):
@@ -202,13 +220,16 @@ def _merge_close_centers(
 
     An assignment round is run against the incoming centres first so the
     member counts used as merge weights are aligned with the (possibly
-    just recentred) centre list.
+    just recentred) centre list.  When no merge fires, the closing
+    assignment would rerun against the same centres -- reuse the
+    opening one instead.
     """
     assignment = _assign(locations, centers)
     counts = [0] * len(centers)
     for cluster_idx in assignment:
         counts[cluster_idx] += 1
 
+    any_merge = False
     merged = True
     while merged and len(centers) > 1:
         merged = False
@@ -227,11 +248,13 @@ def _merge_close_centers(
                         n for idx, n in enumerate(counts) if idx not in (a, b)
                     ] + [weight_a + weight_b]
                     merged = True
+                    any_merge = True
                     break
             if merged:
                 break
 
-    assignment = _assign(locations, centers)
+    if any_merge:
+        assignment = _assign(locations, centers)
     return centers, assignment
 
 
@@ -276,38 +299,62 @@ def _cluster_reports_arrays(
     dy = ys[:, None] - ys[None, :]
     dmat = np.sqrt(dx * dx + dy * dy)
 
-    cx, cy = _seed_centers_arrays(dmat, xs, ys, n, r_error)
+    # The farthest pair is the first row-major maximum of the upper
+    # triangle -- the same (i, j) the scalar double loop keeps with
+    # its strict ``>``.
+    iu_rows, iu_cols = np.triu_indices(n, k=1)
+    flat = dmat[iu_rows, iu_cols]
+    m = int(np.argmax(flat))
+    if float(flat[m]) <= r_error:
+        # Single-cluster early exit, mirroring the scalar path: the
+        # centre is accumulated left-to-right exactly as
+        # _build_clusters_arrays would.
+        sx = 0.0
+        sy = 0.0
+        for k in range(n):
+            sx += xs_list[k]
+            sy += ys_list[k]
+        return [
+            ReportCluster(
+                indices=tuple(range(n)),
+                center=Point(sx / float(n), sy / float(n)),
+            )
+        ]
+    i, j = int(iu_rows[m]), int(iu_cols[m])
+
+    cx, cy = _seed_centers_arrays(dmat, xs, ys, n, r_error, i, j)
+    # Carry each round's closing assignment into the next round (see
+    # the scalar path).
     assignment: List[int] = []
+    current = _assign_arrays(xs, ys, cx, cy)
     for _ in range(_MAX_ROUNDS):
-        new_assignment = _assign_arrays(xs, ys, cx, cy)
-        cx, cy = _recenter_arrays(xs_list, ys_list, new_assignment, len(cx))
-        cx, cy, new_assignment = _merge_close_arrays(
+        cx, cy = _recenter_arrays(xs_list, ys_list, current, len(cx))
+        cx, cy, current = _merge_close_arrays(
             xs, ys, cx, cy, r_error
         )
-        if new_assignment == assignment:
+        if current == assignment:
             break
-        assignment = new_assignment
+        assignment = current
 
     return _build_clusters_arrays(xs_list, ys_list, assignment)
 
 
 def _seed_centers_arrays(
-    dmat: np.ndarray, xs: np.ndarray, ys: np.ndarray, n: int, r_error: float
+    dmat: np.ndarray,
+    xs: np.ndarray,
+    ys: np.ndarray,
+    n: int,
+    r_error: float,
+    i: int,
+    j: int,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Steps 1-3 on the precomputed distance matrix.
+    """Steps 2-3 on the precomputed distance matrix.
 
-    The farthest pair is the first row-major maximum of the upper
-    triangle -- the same ``(i, j)`` the scalar double loop keeps with
-    its strict ``>``.  Greedy coverage seeding tracks a ``covered``
-    mask: a report is covered once any existing centre lies within
-    ``r_error``, which is exactly the negation of the scalar path's
-    ``all(distance > r_error)`` test, applied in the same index order.
+    Greedy coverage seeding tracks a ``covered`` mask: a report is
+    covered once any existing centre lies within ``r_error``, which is
+    exactly the negation of the scalar path's ``all(distance >
+    r_error)`` test, applied in the same index order.
     """
-    iu_rows, iu_cols = np.triu_indices(n, k=1)
-    flat = dmat[iu_rows, iu_cols]
-    m = int(np.argmax(flat))
-    i, j = int(iu_rows[m]), int(iu_cols[m])
-
     center_idx = [i, j]
     covered = (dmat[i] <= r_error) | (dmat[j] <= r_error)
     for k in range(n):
@@ -377,6 +424,7 @@ def _merge_close_arrays(
 
     cxl = cx.tolist()
     cyl = cy.tolist()
+    any_merge = False
     merged = True
     while merged and len(cxl) > 1:
         merged = False
@@ -400,13 +448,17 @@ def _merge_close_arrays(
                         n for idx, n in enumerate(counts) if idx not in (a, b)
                     ] + [weight_a + weight_b]
                     merged = True
+                    any_merge = True
                     break
             if merged:
                 break
 
     cx = np.array(cxl, dtype=np.float64)
     cy = np.array(cyl, dtype=np.float64)
-    assignment = _assign_arrays(xs, ys, cx, cy)
+    if any_merge:
+        # Without a merge the closing assignment equals the opening one
+        # (identical centres); skip the recompute.
+        assignment = _assign_arrays(xs, ys, cx, cy)
     return cx, cy, assignment
 
 

@@ -59,12 +59,20 @@ class FaultDiagnoser:
         self.isolate = isolate
         self._on_isolate = on_isolate
         self._diagnosed: Set[int] = set()
+        self._diagnosed_sorted: Optional[Tuple[int, ...]] = None
         self.log: List[DiagnosisEntry] = []
 
     @property
     def diagnosed(self) -> Tuple[int, ...]:
         """Node ids diagnosed so far, sorted."""
-        return tuple(sorted(self._diagnosed))
+        cached = self._diagnosed_sorted
+        if cached is None:
+            cached = self._diagnosed_sorted = tuple(sorted(self._diagnosed))
+        return cached
+
+    def is_excluded(self, node_id: int) -> bool:
+        """Set-membership twin of ``excluded_nodes`` for per-report checks."""
+        return self.isolate and node_id in self._diagnosed
 
     @property
     def isolated(self) -> Tuple[int, ...]:
@@ -89,6 +97,7 @@ class FaultDiagnoser:
             if node_id in self._diagnosed:
                 continue
             self._diagnosed.add(node_id)
+            self._diagnosed_sorted = None
             entry = DiagnosisEntry(
                 node_id=node_id,
                 time=now,
@@ -104,6 +113,7 @@ class FaultDiagnoser:
     def pardon(self, node_id: int) -> None:
         """Remove a node from the diagnosed set (limited recovery, §1)."""
         self._diagnosed.discard(node_id)
+        self._diagnosed_sorted = None
 
     def false_positive_count(self, truly_faulty: Set[int]) -> int:
         """Diagnosed nodes that are not in the given ground-truth set."""

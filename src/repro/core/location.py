@@ -216,6 +216,7 @@ class LocationDecisionEngine:
         supporters = tuple(
             sorted(reports[i].node_id for i in cluster.indices)
         )
+        supporter_set = set(supporters)
         neighbors = [
             node_id
             for node_id in self.deployment.event_neighbors(
@@ -224,9 +225,9 @@ class LocationDecisionEngine:
             if node_id not in excluded
         ]
         dissenters = tuple(
-            node_id for node_id in neighbors if node_id not in supporters
+            node_id for node_id in neighbors if node_id not in supporter_set
         )
-        if not set(supporters) & set(neighbors):
+        if supporter_set.isdisjoint(neighbors):
             # None of the claimants could have sensed an event at the
             # location they collectively imply: the cluster refutes
             # itself (§2.1's out-of-radius false alarm, caught after

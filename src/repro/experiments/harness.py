@@ -479,21 +479,38 @@ class SimulationRun:
             self.concurrent_batch, time=self.sim.now
         )
         self.events.extend(batch)
+        nodes = self.nodes
         for event in batch:
+            # Only event neighbours can report (compose_report's detects
+            # gate uses the same radius and the same correctly-rounded
+            # distance expression as the spatial index), so the disk
+            # query prunes the all-nodes sweep without touching any
+            # node's private RNG stream.  Neighbour ids come back sorted
+            # ascending, matching self.nodes insertion order, so report
+            # order -- and hence channel-stream consumption -- is
+            # unchanged.
+            neighbors = self.deployment.event_neighbors(
+                event.location, self.sensing_radius
+            )
             self._dispatch_reports(
                 [
                     (node, message)
-                    for node in self.nodes.values()
-                    if (message := node.compose_report(event)) is not None
+                    for node_id in neighbors
+                    if (node := nodes.get(node_id)) is not None
+                    and (message := node.compose_report(event)) is not None
                 ]
             )
 
     def _fire_quiet_window(self) -> None:
+        # quiet_inert behaviours (e.g. correct nodes with a zero false
+        # alarm rate) neither draw from their stream nor report, so
+        # skipping the call wholesale is bit-identical to making it.
         self._dispatch_reports(
             [
                 (node, message)
                 for node in self.nodes.values()
-                if (message := node.compose_false_alarm()) is not None
+                if not node.behavior.quiet_inert
+                and (message := node.compose_false_alarm()) is not None
             ]
         )
 

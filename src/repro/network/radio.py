@@ -153,6 +153,8 @@ class RadioChannel:
         self._sim = sim
         self.config = config if config is not None else ChannelConfig()
         self._nodes: Dict[int, NetworkNode] = {}
+        # Broadcast order memo: (node_id, node) in ascending id order.
+        self._sorted_pairs: Optional[List[Tuple[int, NetworkNode]]] = None
         self._link_loss: Dict[Tuple[int, int], float] = {}
         self._taps: Dict[int, list] = {}
         self._interceptor: Optional[Interceptor] = None
@@ -177,11 +179,13 @@ class RadioChannel:
         if node.node_id in self._nodes:
             raise ValueError(f"duplicate node id {node.node_id}")
         self._nodes[node.node_id] = node
+        self._sorted_pairs = None
         node.attach(self._sim, self)
 
     def unregister(self, node_id: int) -> None:
         """Remove an endpoint (e.g. a diagnosed-faulty node being isolated)."""
         self._nodes.pop(node_id, None)
+        self._sorted_pairs = None
 
     def node(self, node_id: int) -> NetworkNode:
         """Look up a registered endpoint by id."""
@@ -354,10 +358,63 @@ class RadioChannel:
         CH decision announcement to N cluster members costs one fused
         delivery event.
         """
+        pairs = self._sorted_pairs
+        if pairs is None:
+            pairs = self._sorted_pairs = sorted(self._nodes.items())
+        sender_id = sender.node_id
+        config = self.config
+        if (
+            self._interceptor is None
+            and config.jitter == 0
+            and config.loss_probability == 0.0
+            and config.range_limit is None
+            and not self._link_loss
+            and len(pairs) > _VECTOR_MIN
+        ):
+            # Lossless wide-open shape: every live receiver gets the
+            # message, so skip the per-entry outcome bookkeeping.  The
+            # batched core would fuse the exact same survivor list into
+            # one delivery event, and the "channel" draw below keeps the
+            # stream position identical (one draw per live receiver,
+            # ascending id order, no draw for dead ones -- just like the
+            # oracle's per-message loop).
+            n = len(pairs) - 1 if sender_id in self._nodes else len(pairs)
+            deliveries = [
+                (node, message)
+                for node_id, node in pairs
+                if node_id != sender_id and node.alive
+            ]
+            n_ok = len(deliveries)
+            n_dead = n - n_ok
+            trace = self._sim.trace
+            if n_dead == 0 or not (
+                trace.enabled or trace.count_when_disabled
+            ):
+                if n_ok:
+                    self._rng.random(n_ok)
+                    self._schedule_fused(
+                        config.propagation_delay, deliveries
+                    )
+                self.sent += n
+                self.delivered += n_ok
+                self.dropped += n_dead
+                metrics = self._sim.metrics
+                if metrics.enabled:
+                    if self._counter_src is not metrics:
+                        self._rebind_counters(metrics)
+                    self._c_sent.inc(n)
+                    if n_ok:
+                        self._c_delivered.inc(n_ok)
+                    if n_dead:
+                        self._c_dropped.inc(n_dead)
+                        self._drop_counter("dead-receiver").inc(n_dead)
+                return n_ok
+            # Tracing with dead receivers: the per-entry path emits one
+            # radio.drop record per dead receiver; keep that behaviour.
         entries = [
             (sender, node_id, message)
-            for node_id in sorted(self._nodes)
-            if node_id != sender.node_id
+            for node_id, _node in pairs
+            if node_id != sender_id
         ]
         outcomes = self._transmit_many(entries)
         return sum(1 for outcome in outcomes if outcome.delivered)
@@ -459,6 +516,26 @@ class RadioChannel:
         verdicts: Dict[int, Intercept] = {}
         n_ok = 0
         if pend_idx:
+            if (
+                self._interceptor is None
+                and default_loss == 0.0
+                and not link_loss
+            ):
+                # Lossless, un-intercepted shape: the draw must still
+                # happen (stream identity -- the oracle consumes one
+                # "channel" draw per pending entry) but no draw in
+                # [0, 1) can fall below a 0.0 threshold, so every entry
+                # survives and the per-draw scan is skipped.
+                self._rng.random(len(pend_idx))
+                n_ok = len(pend_idx)
+                if n_ok == n:
+                    outcomes = [_OK] * n
+                else:
+                    for i in pend_idx:
+                        outcomes[i] = _OK
+                return self._finish_batch(
+                    n, n_ok, entries, outcomes, receivers, verdicts
+                )
             draws = self._rng.random(len(pend_idx)).tolist()
             interceptor = self._interceptor
             now = self._sim.now
@@ -478,6 +555,20 @@ class RadioChannel:
                 outcomes[i] = _OK
                 n_ok += 1
 
+        return self._finish_batch(
+            n, n_ok, entries, outcomes, receivers, verdicts
+        )
+
+    def _finish_batch(
+        self,
+        n: int,
+        n_ok: int,
+        entries: List[Tuple[NetworkNode, int, Message]],
+        outcomes: List[DeliveryOutcome],
+        receivers: List[Optional[NetworkNode]],
+        verdicts: Dict[int, Intercept],
+    ) -> List[DeliveryOutcome]:
+        """Schedule a resolved batch and settle the delivery counters."""
         sim = self._sim
         delay = self.config.propagation_delay
         n_delivered = n_ok
@@ -615,12 +706,17 @@ class RadioChannel:
                 self._deliver(receiver, message)
             return
         for receiver, message in deliveries:
-            # A handler can install a tap mid-batch, so re-check taps
-            # per message, exactly as per-event delivery would.
-            if self._taps:
-                self._deliver(receiver, message)
-            elif receiver.alive:
-                receiver.on_message(message)
+            if not receiver.alive:
+                continue
+            receiver.on_message(message)
+            # Taps are re-read after each handler (one can be installed
+            # mid-batch, even by this very on_message), exactly as
+            # per-event delivery would see them.
+            taps = self._taps
+            if taps:
+                for tap in taps.get(receiver.node_id, ()):
+                    if tap.alive and tap.node_id != message.sender:
+                        tap.on_message(message)
 
     def _rebind_counters(self, metrics) -> None:
         self._counter_src = metrics

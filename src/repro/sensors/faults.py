@@ -73,6 +73,13 @@ class NodeBehavior:
     #: Paper fault level: None for correct nodes, else 0, 1 or 2.
     level: Optional[int] = None
 
+    #: True iff :meth:`on_quiet_window` is referentially inert for this
+    #: instance -- draws nothing from ``rng``, mutates no state, and
+    #: always returns ``None`` -- so a caller sweeping many nodes may
+    #: skip the call entirely without perturbing any random stream.
+    #: Conservative default: subclasses opt in.
+    quiet_inert: bool = False
+
     @property
     def is_faulty(self) -> bool:
         """True for every category except correct nodes."""
@@ -141,6 +148,9 @@ class CorrectBehavior(NodeBehavior):
         self.sensing = sensing
         self.miss_rate = miss_rate
         self.false_alarm_rate = false_alarm_rate
+        # With no natural false alarms the quiet-window branch
+        # short-circuits before its rng.random() draw.
+        self.quiet_inert = false_alarm_rate == 0
 
     def on_event(
         self,
@@ -205,6 +215,9 @@ class Level0Behavior(NodeBehavior):
         self.drop_rate = drop_rate
         self.false_alarm_rate = false_alarm_rate
         self.location_sigma = location_sigma
+        # Same short-circuit as CorrectBehavior: rate zero means the
+        # quiet-window path neither draws nor reports.
+        self.quiet_inert = false_alarm_rate == 0
 
     def on_event(
         self,
@@ -417,6 +430,9 @@ class Level2Behavior(NodeBehavior):
     """
 
     level = 2
+    # Colluders stay silent between events, unconditionally: the
+    # quiet-window hook touches neither rng nor coordinator state.
+    quiet_inert = True
 
     def __init__(
         self,

@@ -144,17 +144,23 @@ class SensorNode(NetworkNode):
     # Radio
     # ------------------------------------------------------------------
     def on_message(self, message: Message) -> None:
-        if isinstance(message, ChDecisionAnnouncement):
-            self._observe_decision(message)
+        # Inlined decision observation: this runs once per node per CH
+        # broadcast, the hottest receiver path in a sweep.  The trust
+        # update rule is deterministic given the verdict and the node's
+        # own role, so the node can replay it exactly: reporters are
+        # rewarded iff the event was upheld, non-reporters iff it was
+        # rejected.
+        if self.feedback_enabled and isinstance(
+            message, ChDecisionAnnouncement
+        ):
+            node_id = self.node_id
+            if node_id in message.reporters:
+                self.behavior.observe_outcome(rewarded=message.occurred)
+            elif node_id in message.non_reporters:
+                self.behavior.observe_outcome(rewarded=not message.occurred)
 
     def _observe_decision(self, message: ChDecisionAnnouncement) -> None:
-        """Feed the CH's broadcast verdict back into the behaviour.
-
-        The trust update rule is deterministic given the verdict and the
-        node's own role, so the node can replay it exactly: reporters
-        are rewarded iff the event was upheld, non-reporters iff it was
-        rejected.
-        """
+        """Compatibility shim for tests; :meth:`on_message` inlines this."""
         if not self.feedback_enabled:
             return
         if self.node_id in message.reporters:

@@ -1,0 +1,1013 @@
+"""Calendar-queue scheduler backend with a recycled event arena.
+
+This is the fast sibling of :class:`repro.simkernel.events.EventQueue`
+(the heapq implementation, retained as the bit-identity oracle).  Both
+backends implement the same determinism contract -- events pop in exact
+``(time, priority, sequence)`` order, lower priority first, insertion
+order breaking ties -- so every experiment produces identical results
+under either one.  The differential suites in
+``tests/simkernel/test_calqueue_equivalence.py`` replay random
+schedule/cancel/timer interleavings against the oracle to pin this.
+
+Structure
+---------
+*Calendar queue* (Brown 1988): a power-of-two array of buckets, each
+holding the events of one ``width``-wide time slice of every "year"
+(``nbuckets * width``).  A cursor walks the buckets; an event in the
+cursor's bucket is only accepted while its time is below the bucket's
+current year threshold (``cur_top``), so far-future events wait for a
+later lap.  A full fruitless lap falls back to a vectorised direct
+search over the packed key arrays.  The bucket map
+``int(time / width)`` is monotone non-decreasing in time, which is the
+only property the ordering argument needs -- the scan can therefore
+never surface an event before an earlier-keyed one.
+
+*Event arena*: events live in slots of an append-only pool.  A fired
+slot is freed one pop later (the loop's reference to the firing event
+must die first) and recycled for the next schedule, so the steady path
+allocates no objects at all.  Recycling is gated on
+``sys.getrefcount``: a handle still held by caller code is never
+reused -- it is orphaned with ``_popped`` set, so a late
+:meth:`ArenaEvent.cancel` stays the same no-op it is on the heap
+backend.  Each slot carries a generation counter (object attribute plus
+the ``_gen`` column), bumped when the slot changes tenant or is
+re-armed, so stale slot references are detectable.
+
+*Packed keys*: the direct-search fallback and resize gather event
+times into a flat float64 vector and reduce it vectorised instead of
+comparing event objects.  The ``(priority, sequence)`` tie component
+packs into one 64-bit word -- ``(priority + bias) << 44 | sequence``
+(:attr:`ArenaEvent.sortkey`) -- computed only when two events actually
+collide on time, which bounds priorities to ``[-524288, 524287]``
+(the simulation uses -2..0).
+
+*Sorted-burst drain*: simultaneous events (one sensing round informing
+``k`` neighbours at a single instant) all land in the same bucket,
+because the bucket map is a pure function of the time -- so popping
+them one at a time would rescan the bucket with sortkey tie compares
+on every pop, O(k^2) total.  When the cursor scan sees a time tie it
+extracts the whole same-time cohort, sorts it once by *descending*
+sortkey, and serves subsequent pops from the tail of that list until
+the burst is dry.  A same-time arrival during the drain bisects into
+the burst; an earlier arrival flushes the burst back into its bucket
+and takes the normal insert path (which resets the cursor).
+
+*Fused timers*: :meth:`rearm` re-arms a just-fired event in place --
+new time, fresh sequence number (preserving tie order against the
+oracle's pop+push), same slot and object -- so a periodic
+:class:`~repro.simkernel.simulator.Timer` stream costs no allocation
+and no heap churn per tick.
+"""
+
+from __future__ import annotations
+
+import sys
+from bisect import insort
+from operator import attrgetter
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.simkernel.errors import SchedulingError, SimulationFinished
+
+__all__ = [
+    "ArenaEvent",
+    "CalendarQueue",
+    "QUEUE_ENV",
+    "QUEUE_BACKENDS",
+    "resolve_queue_backend",
+]
+
+# Environment variable selecting the Simulator's scheduler backend.
+QUEUE_ENV = "TIBFIT_QUEUE"
+QUEUE_BACKENDS = ("heap", "calendar")
+DEFAULT_BACKEND = "calendar"
+
+_MIN_BUCKETS = 8
+_MAX_BUCKETS = 32768
+_PRIORITY_BIAS = 1 << 19
+_SEQ_BITS = 44
+# Bucket-index clamp for non-finite / astronomically large times: far
+# beyond any reachable cursor position, still a valid Python int.
+_FAR_INDEX = 1 << 62
+_KEY_DTYPE = np.float64
+
+_SORTKEY = attrgetter("sortkey")
+
+
+def _neg_sortkey(event: "ArenaEvent") -> int:
+    """Bisect key for the descending-sortkey burst list."""
+    return -event.sortkey
+
+
+def resolve_queue_backend(name: Optional[str] = None) -> str:
+    """Resolve the scheduler backend: explicit arg, else $TIBFIT_QUEUE.
+
+    Returns ``"heap"`` or ``"calendar"`` (the default).  Raises
+    :class:`SchedulingError` on anything else, naming the environment
+    variable when the bad value came from the environment.
+    """
+    import os
+
+    if name is None:
+        env = os.environ.get(QUEUE_ENV)
+        if env is None or env == "":
+            return DEFAULT_BACKEND
+        if env not in QUEUE_BACKENDS:
+            raise SchedulingError(
+                f"{QUEUE_ENV} must be one of {QUEUE_BACKENDS}, got {env!r}"
+            )
+        return env
+    if name not in QUEUE_BACKENDS:
+        raise SchedulingError(
+            f"queue backend must be one of {QUEUE_BACKENDS}, got {name!r}"
+        )
+    return name
+
+
+class ArenaEvent:
+    """A slot-resident scheduled event.
+
+    Duck-types :class:`repro.simkernel.events.ScheduledEvent` (same
+    public fields, :meth:`cancel`, :meth:`fire`) and adds the arena
+    bookkeeping: ``slot`` (pool index), ``generation`` (bumped each
+    time the slot is armed for a new tenant or re-armed in place) and
+    ``sortkey`` (the packed ``(priority, sequence)`` tie word).
+    """
+
+    __slots__ = (
+        "time",
+        "priority",
+        "sequence",
+        "callback",
+        "args",
+        "kwargs",
+        "cancelled",
+        "label",
+        "slot",
+        "generation",
+        "_queue",
+        "_popped",
+    )
+
+    def __init__(self, queue: "CalendarQueue", slot: int) -> None:
+        self.time = 0.0
+        self.priority = 0
+        self.sequence = -1
+        self.callback = None
+        self.args = ()
+        self.kwargs = None
+        self.cancelled = False
+        self.label = ""
+        self.slot = slot
+        self.generation = 0
+        self._queue = queue
+        self._popped = True  # not armed yet
+
+    @property
+    def sortkey(self) -> int:
+        """The packed 64-bit ``(priority, sequence)`` tie word."""
+        return ((self.priority + _PRIORITY_BIAS) << _SEQ_BITS) | self.sequence
+
+    def cancel(self) -> None:
+        """Mark this event so the scan skips it; O(1), no bucket search.
+
+        Cancelling twice, or cancelling after the event fired (or after
+        its slot was recycled past this handle -- the handle keeps
+        ``_popped`` forever in that case), is a no-op, exactly matching
+        the heap backend's late-cancel contract.
+        """
+        if self.cancelled or self._popped:
+            return
+        self.cancelled = True
+        queue = self._queue
+        queue._live -= 1
+        queue._dead += 1
+        if queue._dead > 64 and queue._dead > queue._live:
+            queue._purge()
+
+    def fire(self) -> Any:
+        """Invoke the callback with its stored arguments."""
+        if self.kwargs is None:
+            return self.callback(*self.args)
+        return self.callback(*self.args, **self.kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ArenaEvent(time={self.time}, priority={self.priority}, "
+            f"sequence={self.sequence}, slot={self.slot}, "
+            f"generation={self.generation}, label={self.label!r}, "
+            f"cancelled={self.cancelled})"
+        )
+
+
+class CalendarQueue:
+    """Bucketed calendar queue over a recycled event arena.
+
+    API-compatible with :class:`~repro.simkernel.events.EventQueue`
+    (``push``/``pop``/``pop_next``/``peek_time``/``clear``/``len``) and
+    extends it with the fast entry points the simulator wires up when
+    this backend is selected: :meth:`schedule` (positional, no keyword
+    re-marshalling), :meth:`make_after` (a closure fast path installed
+    as ``sim.after``), :meth:`run_loop` (the fused pop+fire loop) and
+    :meth:`rearm` (in-place periodic-timer re-arm).
+    """
+
+    # Slotted: the hot paths (the ``after`` closure, ``run_loop``) read
+    # a dozen of these per event; slot descriptors beat dict lookups.
+    __slots__ = (
+        "_sequence",
+        "_live",
+        "_dead",
+        "_nbuckets",
+        "_mask",
+        "_width",
+        "_inv",
+        "_buckets",
+        "_cur",
+        "_cur_top",
+        "_floor",
+        "_grow_at",
+        "_epoch",
+        "_burst",
+        "_burst_time",
+        "_slot_obj",
+        "_free",
+        "_pending_free",
+        "_gen",
+    )
+
+    def __init__(self) -> None:
+        self._sequence = 0
+        self._live = 0
+        self._dead = 0  # cancelled events still parked in buckets
+        # Calendar layout.
+        self._nbuckets = _MIN_BUCKETS
+        self._mask = _MIN_BUCKETS - 1
+        self._width = 1.0
+        self._inv = 1.0
+        self._buckets: list = [[] for _ in range(_MIN_BUCKETS)]
+        self._cur = 0  # cursor bucket (the one holding _floor)
+        self._cur_top = 1.0  # accept threshold for the cursor bucket
+        self._floor = 0.0  # no live event is earlier than this
+        self._grow_at = 2 * _MIN_BUCKETS
+        self._epoch = 0  # bumped on resize/clear so loops reload layout
+        # Sorted-burst drain: when the cursor scan hits a time tie the
+        # whole same-time cohort moves here, sorted by DESCENDING
+        # sortkey so pops come off the tail in oracle order.
+        self._burst: list = []
+        self._burst_time = 0.0
+        # Arena: slot-indexed object pool + free list + packed key columns.
+        # The list objects are stable for the queue's lifetime (cleared
+        # in place) so closures may capture them.
+        self._slot_obj: list = []
+        self._free: list = []
+        self._pending_free = -1  # slot freed at the *next* removal
+        self._gen = np.zeros(64, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *,
+        priority: int = 0,
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        label: str = "",
+    ) -> ArenaEvent:
+        """Keyword-compatible twin of :meth:`EventQueue.push`."""
+        return self.schedule(
+            time, priority, callback, args, kwargs if kwargs else None, label
+        )
+
+    def schedule(
+        self,
+        time: float,
+        priority: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        kwargs: Optional[dict],
+        label: str,
+    ) -> ArenaEvent:
+        """Positional scheduling core: validate, arm a slot, insert."""
+        if not callable(callback):
+            raise SchedulingError(f"callback must be callable, got {callback!r}")
+        if time != time:  # NaN check
+            raise SchedulingError("cannot schedule an event at time NaN")
+        if priority and (
+            priority < -_PRIORITY_BIAS or priority >= _PRIORITY_BIAS
+        ):
+            raise SchedulingError(
+                f"calendar backend priorities must be in "
+                f"[{-_PRIORITY_BIAS}, {_PRIORITY_BIAS - 1}], got {priority}"
+            )
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        event = self._arm(
+            time, priority, sequence, callback, args, kwargs, label
+        )
+        self._insert(event, time)
+        return event
+
+    def _arm(
+        self, time, priority, sequence, callback, args, kwargs, label
+    ) -> ArenaEvent:
+        """Take a slot (recycled when safe, fresh otherwise) and fill it."""
+        free = self._free
+        slot_obj = self._slot_obj
+        if free:
+            slot = free.pop()
+            event = slot_obj[slot]
+            # Reuse only if nobody else holds the handle: refcount is
+            # slot_obj + our local + getrefcount's argument.
+            if sys.getrefcount(event) == 3:
+                event.generation += 1
+                event.time = time
+                event.priority = priority
+                event.sequence = sequence
+                event.callback = callback
+                event.args = args
+                event.kwargs = kwargs
+                event.cancelled = False
+                event.label = label
+                event._popped = False
+                return event
+            # Held externally: orphan the old tenant (its _popped flag
+            # keeps late cancels inert forever) and give the slot a
+            # fresh object under a bumped generation.
+            generation = event.generation + 1
+        else:
+            slot = len(slot_obj)
+            slot_obj.append(None)
+            if slot >= len(self._gen):
+                self._gen = np.concatenate(
+                    [self._gen, np.zeros(len(self._gen), np.int64)]
+                )
+            generation = 0
+        event = ArenaEvent(self, slot)
+        event.generation = generation
+        event.time = time
+        event.priority = priority
+        event.sequence = sequence
+        event.callback = callback
+        event.args = args
+        event.kwargs = kwargs
+        event._popped = False
+        event.label = label
+        slot_obj[slot] = event
+        self._gen[slot] = generation
+        return event
+
+    def _index_of(self, time: float) -> int:
+        """Monotone bucket map ``int(time / width)`` with inf clamp."""
+        try:
+            return int(time * self._inv)
+        except OverflowError:
+            return _FAR_INDEX if time > 0 else -_FAR_INDEX
+
+    def _insert(self, event: ArenaEvent, time: float) -> None:
+        burst = self._burst
+        if burst:
+            burst_time = self._burst_time
+            if time == burst_time:
+                # Joins the cohort being drained: bisect into place.
+                # The new arrival has the highest sequence so far, so
+                # with any in-play priority it sits where the oracle
+                # would pop it (priority -2 lands at the tail = next).
+                insort(burst, event, key=_neg_sortkey)
+                self._live += 1
+                return
+            if time < burst_time:
+                # An earlier arrival ends the drain: park the cohort
+                # back in its bucket (index computed under the current
+                # layout) and fall through to the normal insert, whose
+                # time < _floor branch resets the cursor.
+                self._buckets[
+                    self._index_of(burst_time) & self._mask
+                ].extend(burst)
+                del burst[:]
+        index = self._index_of(time)
+        live = self._live
+        if live == 0 or time < self._floor:
+            # The event starts (or restarts) the timeline: point the
+            # cursor at its bucket so the scan resumes from it.
+            self._cur = index & self._mask
+            self._cur_top = (index + 1) * self._width
+            self._floor = time
+        self._buckets[index & self._mask].append(event)
+        self._live = live + 1
+        if live >= self._grow_at:
+            self._resize()
+
+    # ------------------------------------------------------------------
+    # Popping
+    # ------------------------------------------------------------------
+    def _scan_min(self):
+        """Locate (not remove) the earliest live event.
+
+        Returns ``(event, bucket, index_in_bucket, cur, top)`` or
+        ``None`` when no live events remain.  Commits no cursor state:
+        callers that remove the event commit ``cur``/``top``/``floor``
+        themselves, so a blocked ``pop_next(until)`` leaves the queue
+        untouched.  Callers must drain :attr:`_burst` first (via
+        :meth:`_burst_next`): this scan only covers the buckets.
+        """
+        if self._live == 0:
+            return None
+        if self._nbuckets > _MIN_BUCKETS and (
+            self._live < self._nbuckets >> 2
+        ):
+            self._resize()
+        buckets = self._buckets
+        mask = self._mask
+        width = self._width
+        cur = self._cur
+        top = self._cur_top
+        for _ in range(mask + 1):
+            bucket = buckets[cur]
+            if bucket:
+                best = None
+                best_t = 0.0
+                best_i = -1
+                if self._dead:
+                    # Compact cancelled entries out while scanning.
+                    write = 0
+                    for event in bucket:
+                        if event.cancelled:
+                            self._dead -= 1
+                            self._release(event)
+                            continue
+                        bucket[write] = event
+                        t = event.time
+                        if t < top:
+                            if best is None or t < best_t:
+                                best = event
+                                best_t = t
+                                best_i = write
+                            elif t == best_t and event.sortkey < best.sortkey:
+                                best = event
+                                best_i = write
+                        write += 1
+                    del bucket[write:]
+                else:
+                    for i, event in enumerate(bucket):
+                        t = event.time
+                        if t < top:
+                            if best is None or t < best_t:
+                                best = event
+                                best_t = t
+                                best_i = i
+                            elif t == best_t and event.sortkey < best.sortkey:
+                                best = event
+                                best_i = i
+                if best is not None:
+                    return best, bucket, best_i, cur, top
+            cur = (cur + 1) & mask
+            top += width
+        # A full lap found nothing in-year: the next event is far away.
+        return self._direct_min()
+
+    def _direct_min(self):
+        """Vectorised global minimum over the flat time-key vector."""
+        events = [
+            event
+            for bucket in self._buckets
+            for event in bucket
+            if not event.cancelled
+        ]
+        if not events:
+            return None
+        times = np.fromiter(
+            (event.time for event in events), _KEY_DTYPE, count=len(events)
+        )
+        t_min = times.min()
+        event = events[int(times.argmin())]
+        if int((times == t_min).sum()) > 1:
+            # Exact tie resolution through the packed tie words.
+            event = min(
+                (e for e in events if e.time == t_min),
+                key=lambda e: e.sortkey,
+            )
+        index = self._index_of(event.time)
+        bucket = self._buckets[index & self._mask]
+        return (
+            event,
+            bucket,
+            bucket.index(event),
+            index & self._mask,
+            (index + 1) * self._width,
+        )
+
+    def _remove(self, found) -> ArenaEvent:
+        """Commit the removal of a scanned event."""
+        event, bucket, i, cur, top = found
+        last = bucket.pop()
+        if i < len(bucket):
+            bucket[i] = last
+        self._cur = cur
+        self._cur_top = top
+        self._floor = event.time
+        event._popped = True
+        self._live -= 1
+        pending = self._pending_free
+        if pending >= 0:
+            self._free.append(pending)
+        self._pending_free = event.slot
+        return event
+
+    def _burst_next(self) -> Optional[ArenaEvent]:
+        """Peek the burst tail (the next live event while one is active).
+
+        Releases cancelled entries off the tail as it goes; returns
+        ``None`` once the burst is empty, at which point the bucket
+        scan takes over.
+        """
+        burst = self._burst
+        while burst:
+            event = burst[-1]
+            if not event.cancelled:
+                return event
+            burst.pop()
+            self._dead -= 1
+            self._release(event)
+        return None
+
+    def _remove_burst(self, event: ArenaEvent) -> ArenaEvent:
+        """Commit the removal of the burst tail (already the global min)."""
+        self._burst.pop()
+        self._floor = event.time
+        event._popped = True
+        self._live -= 1
+        pending = self._pending_free
+        if pending >= 0:
+            self._free.append(pending)
+        self._pending_free = event.slot
+        return event
+
+    def pop(self) -> ArenaEvent:
+        """Remove and return the next live event (IndexError if none)."""
+        event = self._burst_next()
+        if event is not None:
+            return self._remove_burst(event)
+        found = self._scan_min()
+        if found is None:
+            raise IndexError("pop from empty CalendarQueue")
+        return self._remove(found)
+
+    def pop_next(self, until: Optional[float] = None) -> Optional[ArenaEvent]:
+        """Pop the next live event unless it fires strictly after ``until``."""
+        event = self._burst_next()
+        if event is not None:
+            if until is not None and event.time > until:
+                return None
+            return self._remove_burst(event)
+        found = self._scan_min()
+        if found is None:
+            return None
+        if until is not None and found[0].time > until:
+            return None
+        return self._remove(found)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        event = self._burst_next()
+        if event is not None:
+            return event.time
+        found = self._scan_min()
+        return None if found is None else found[0].time
+
+    # ------------------------------------------------------------------
+    # Arena maintenance
+    # ------------------------------------------------------------------
+    def _release(self, event: ArenaEvent) -> None:
+        """Free a cancelled event's slot (reuse still refcount-gated).
+
+        The payload is dropped so a dead slot never pins the callback's
+        object graph: a retained bound method would close the cycle
+        ``event -> handler object -> Simulator -> queue -> event`` and
+        defer the whole simulation graph to gen-2 garbage collection.
+        """
+        event.callback = None
+        event.args = ()
+        event.kwargs = None
+        self._gen[event.slot] = event.generation + 1
+        self._free.append(event.slot)
+
+    def _compact_burst(self) -> None:
+        """Drop cancelled entries from the burst (order is preserved)."""
+        burst = self._burst
+        if not burst:
+            return
+        keep = [event for event in burst if not event.cancelled]
+        if len(keep) != len(burst):
+            for event in burst:
+                if event.cancelled:
+                    self._dead -= 1
+                    self._release(event)
+            burst[:] = keep
+
+    def _purge(self) -> None:
+        """Sweep cancelled events out of every bucket and the burst."""
+        self._compact_burst()
+        for bucket in self._buckets:
+            if not bucket:
+                continue
+            write = 0
+            for event in bucket:
+                if event.cancelled:
+                    self._release(event)
+                    continue
+                bucket[write] = event
+                write += 1
+            del bucket[write:]
+        self._dead = 0
+
+    def _resize(self) -> None:
+        """Rebuild the bucket array sized and spaced to the live set.
+
+        An active burst stays out of the rebuild -- it is served before
+        any bucket, so its events are position-independent -- but its
+        cancelled entries are dropped and its live ones counted.
+        """
+        slot_obj = self._slot_obj
+        self._compact_burst()
+        live_events = []
+        for bucket in self._buckets:
+            for event in bucket:
+                if event.cancelled:
+                    self._release(event)
+                else:
+                    live_events.append(event)
+        self._dead = 0
+        live = len(live_events)
+        self._live = live + len(self._burst)
+        nbuckets = 1 << max(
+            _MIN_BUCKETS.bit_length() - 1,
+            min(_MAX_BUCKETS.bit_length() - 1, live.bit_length()),
+        )
+        if not live_events:
+            self._nbuckets = nbuckets
+            self._mask = nbuckets - 1
+            self._buckets = [[] for _ in range(nbuckets)]
+            self._grow_at = 2 * nbuckets
+            # Keep the cursor invariant (its bucket holds _floor) valid
+            # under the fresh mask -- a later insert past the floor must
+            # find a coherent accept threshold.
+            index = self._index_of(self._floor)
+            self._cur = index & (nbuckets - 1)
+            self._cur_top = (index + 1) * self._width
+            self._epoch += 1
+            return
+        times = np.fromiter(
+            (event.time for event in live_events), _KEY_DTYPE, count=live
+        )
+        finite = times[np.isfinite(times)]
+        if len(finite) > 1:
+            span = float(finite.max() - finite.min())
+            if span > 0.0:
+                width = span * 3.0 / live
+                if width > 0.0 and np.isfinite(width):
+                    self._width = width
+                    self._inv = 1.0 / width
+        mask = nbuckets - 1
+        indices = times * self._inv
+        np.clip(indices, -float(_FAR_INDEX), float(_FAR_INDEX), out=indices)
+        positions = indices.astype(np.int64) & mask
+        buckets: list = [[] for _ in range(nbuckets)]
+        for event, position in zip(live_events, positions.tolist()):
+            buckets[position].append(event)
+        self._nbuckets = nbuckets
+        self._mask = mask
+        self._buckets = buckets
+        self._grow_at = 2 * nbuckets
+        i = int(times.argmin())
+        t_min = float(times[i])
+        index = self._index_of(t_min)
+        self._cur = index & mask
+        self._cur_top = (index + 1) * self._width
+        self._floor = t_min
+        self._epoch += 1
+
+    def clear(self) -> None:
+        """Drop all queued events, leaving outstanding handles inert.
+
+        Every queued event is marked popped first, so a handle held by
+        caller code can no longer cancel its way into the bookkeeping
+        of the emptied queue (the same contract as the fixed
+        :meth:`EventQueue.clear`).  Sequence numbers keep counting.
+        """
+        for bucket in self._buckets:
+            for event in bucket:
+                event._popped = True
+        for event in self._burst:
+            event._popped = True
+        self._burst = []
+        self._burst_time = 0.0
+        self._nbuckets = _MIN_BUCKETS
+        self._mask = _MIN_BUCKETS - 1
+        self._width = 1.0
+        self._inv = 1.0
+        self._buckets = [[] for _ in range(_MIN_BUCKETS)]
+        self._cur = 0
+        self._cur_top = 1.0
+        self._floor = 0.0
+        self._grow_at = 2 * _MIN_BUCKETS
+        self._live = 0
+        self._dead = 0
+        self._pending_free = -1
+        # In-place: make_after closures capture these list objects.
+        self._slot_obj.clear()
+        self._free.clear()
+        self._epoch += 1
+
+    # ------------------------------------------------------------------
+    # Fused fast paths wired up by the Simulator
+    # ------------------------------------------------------------------
+    def rearm(self, event: ArenaEvent, time: float) -> Optional[ArenaEvent]:
+        """Re-arm a just-fired event in place (the fused timer path).
+
+        Only the event popped most recently (its slot still pending
+        free) can be re-armed; anything else -- foreign handle, stale
+        slot, cancelled, still queued -- returns ``None`` and the
+        caller falls back to a regular schedule.  The event keeps its
+        slot, object, priority and label but takes a *fresh* sequence
+        number, so tie order against other same-time events is exactly
+        what the oracle's pop+push would have produced.
+        """
+        slot = event.slot
+        if (
+            event._queue is not self
+            or not event._popped
+            or event.cancelled
+            or self._pending_free != slot
+            or self._slot_obj[slot] is not event
+        ):
+            return None
+        if time != time:  # pragma: no cover - Timer validates interval
+            raise SchedulingError("cannot schedule an event at time NaN")
+        self._pending_free = -1
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        event.time = time
+        event.sequence = sequence
+        event._popped = False
+        event.generation += 1
+        self._insert(event, time)
+        return event
+
+    def make_after(self, sim) -> Callable[..., ArenaEvent]:
+        """Build the closure installed as ``sim.after``: one call frame
+        from caller to armed slot, no keyword re-marshalling."""
+        queue = self
+        slot_obj = self._slot_obj
+        free = self._free
+        getrefcount = sys.getrefcount
+        bias = _PRIORITY_BIAS
+        is_callable = callable
+        scheduling_error = SchedulingError
+
+        def _validate(delay: float, priority: int) -> None:
+            # Off the hot path: only reached for a negative/NaN delay
+            # or a non-zero priority.  Raises exactly the errors the
+            # oracle's schedule path raises (plus the backend's own
+            # priority-range rule); returns for a valid priority.
+            if delay < 0:
+                raise scheduling_error(
+                    f"delay must be non-negative, got {delay}"
+                )
+            if delay != delay:
+                raise scheduling_error(
+                    "cannot schedule an event at time NaN"
+                )
+            if priority < -bias or priority >= bias:
+                raise scheduling_error(
+                    f"calendar backend priorities must be in "
+                    f"[{-bias}, {bias - 1}], got {priority}"
+                )
+
+        def after(
+            delay: float,
+            callback: Callable[..., Any],
+            *args: Any,
+            priority: int = 0,
+            label: str = "",
+            **kwargs: Any,
+        ) -> ArenaEvent:
+            # ``not delay >= 0`` is a single test that is False for
+            # every valid delay and True for both rejects (negative or
+            # NaN -- NaN fails every comparison), so the steady path
+            # pays one branch for the oracle's two checks.
+            if not delay >= 0 or priority:
+                _validate(delay, priority)
+            time = sim._now + delay
+            if not is_callable(callback):
+                raise scheduling_error(
+                    f"callback must be callable, got {callback!r}"
+                )
+            sequence = queue._sequence
+            queue._sequence = sequence + 1
+            event = None
+            if free:
+                slot = free.pop()
+                event = slot_obj[slot]
+                if getrefcount(event) == 3:
+                    event.generation += 1
+                    event.time = time
+                    event.priority = priority
+                    event.sequence = sequence
+                    event.callback = callback
+                    event.args = args
+                    event.kwargs = kwargs if kwargs else None
+                    event.cancelled = False
+                    event.label = label
+                    event._popped = False
+                else:
+                    free.append(slot)
+                    event = None
+            if event is None:
+                event = queue._arm(
+                    time,
+                    priority,
+                    sequence,
+                    callback,
+                    args,
+                    kwargs if kwargs else None,
+                    label,
+                )
+            if queue._burst:
+                # Mid-drain: delegate so a same-time arrival joins the
+                # sorted burst (or an earlier one flushes it back).
+                queue._insert(event, time)
+                return event
+            # Inline insert (the _insert body, minus a call frame).
+            try:
+                index = int(time * queue._inv)
+            except OverflowError:
+                index = _FAR_INDEX if time > 0 else -_FAR_INDEX
+            live = queue._live
+            if live == 0 or time < queue._floor:
+                queue._cur = index & queue._mask
+                queue._cur_top = (index + 1) * queue._width
+                queue._floor = time
+            queue._buckets[index & queue._mask].append(event)
+            queue._live = live + 1
+            if live >= queue._grow_at:
+                queue._resize()
+            return event
+
+        return after
+
+    def run_loop(self, sim, until: Optional[float]) -> None:
+        """The fused pop+fire loop :meth:`Simulator.run` delegates to.
+
+        Equivalent to ``while (ev := pop_next(until)): fire(ev)`` with
+        the scan, removal, deferred slot free and dispatch inlined.
+        Honours ``sim.stop()`` and :class:`SimulationFinished` exactly
+        like the generic loop; ``sim._events_fired`` is incremented
+        *before* each callback so mid-run samples match the oracle.
+        Layout attributes are read fresh each iteration, so callbacks
+        that push (and thereby resize) the queue are always safe.
+        """
+        free = self._free
+        try:
+            self._run_core(sim, until, free)
+        finally:
+            # Fired events park their slots with the payload still
+            # attached; drop those payloads once per run rather than
+            # per pop, so a parked slot does not pin its handler graph
+            # between runs (a retained bound method closes the cycle
+            # ``event -> handler -> Simulator -> queue -> event``,
+            # deferring the whole simulation graph to gen-2 GC -- see
+            # ``_release``).  Mid-run the LIFO free list recycles slots
+            # almost immediately, so per-pop clearing buys nothing.
+            self._clear_parked()
+
+    def _clear_parked(self) -> None:
+        """Drop payloads from every parked (popped-and-freed) slot."""
+        slot_obj = self._slot_obj
+        pending = self._pending_free
+        if pending >= 0:
+            event = slot_obj[pending]
+            event.callback = None
+            event.args = ()
+            event.kwargs = None
+        for slot in self._free:
+            event = slot_obj[slot]
+            event.callback = None
+            event.args = ()
+            event.kwargs = None
+
+    def _run_core(self, sim, until: Optional[float], free: list) -> None:
+        while self._live:
+            burst = self._burst
+            if burst:
+                # Drain the sorted same-time cohort off the tail.
+                event = burst[-1]
+                if event.cancelled:
+                    burst.pop()
+                    self._dead -= 1
+                    self._release(event)
+                    continue
+                t = event.time
+                if until is not None and t > until:
+                    return
+                burst.pop()
+            else:
+                bucket = self._buckets[self._cur]
+                event = None
+                n = len(bucket)
+                if n == 1:
+                    only = bucket[0]
+                    if not only.cancelled and only.time < self._cur_top:
+                        event = only
+                        index = -1  # singleton: removal is bucket.clear()
+                elif n:
+                    top = self._cur_top
+                    best_t = 0.0
+                    index = -1
+                    tied = False
+                    for i, candidate in enumerate(bucket):
+                        if candidate.cancelled:
+                            continue
+                        t = candidate.time
+                        if t < top:
+                            if event is None or t < best_t:
+                                event = candidate
+                                best_t = t
+                                index = i
+                                tied = False
+                            elif t == best_t:
+                                tied = True
+                                if candidate.sortkey < event.sortkey:
+                                    event = candidate
+                                    index = i
+                    if tied:
+                        # Same-time cohort: rescanning it pop by pop is
+                        # O(k^2) in the burst size.  Extract it once,
+                        # sort descending by sortkey, serve from the
+                        # tail (next iteration takes the branch above).
+                        self._burst = [
+                            e
+                            for e in bucket
+                            if not e.cancelled and e.time == best_t
+                        ]
+                        bucket[:] = [
+                            e
+                            for e in bucket
+                            if e.cancelled or e.time != best_t
+                        ]
+                        self._burst.sort(key=_SORTKEY, reverse=True)
+                        self._burst_time = best_t
+                        continue
+                if event is None:
+                    # Cursor bucket exhausted for this year: full scan.
+                    event, bucket, index, cur, top = self._scan_min()
+                    self._cur = cur
+                    self._cur_top = top
+                t = event.time
+                if until is not None and t > until:
+                    return
+                # Commit removal (swap-pop; in-bucket order is free).
+                if index < 0:
+                    bucket.clear()
+                else:
+                    last = bucket.pop()
+                    if index < len(bucket):
+                        bucket[index] = last
+            self._floor = t
+            event._popped = True
+            self._live -= 1
+            pending = self._pending_free
+            if pending >= 0:
+                free.append(pending)
+            self._pending_free = event.slot
+            sim._now = t
+            sim._events_fired += 1
+            callback = event.callback
+            args = event.args
+            kwargs = event.kwargs
+            try:
+                if kwargs is None:
+                    if args:
+                        callback(*args)
+                    else:
+                        callback()
+                else:
+                    callback(*args, **kwargs)
+            except SimulationFinished:
+                return
+            if sim._stopped:
+                return

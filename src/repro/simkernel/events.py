@@ -135,6 +135,26 @@ class EventQueue:
         Returns the :class:`ScheduledEvent` handle, which supports
         :meth:`ScheduledEvent.cancel`.
         """
+        return self.schedule(
+            time, priority, callback, args, kwargs if kwargs else None, label
+        )
+
+    def schedule(
+        self,
+        time: float,
+        priority: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        kwargs: Optional[dict],
+        label: str,
+    ) -> ScheduledEvent:
+        """Positional scheduling core shared with the simulator.
+
+        Same semantics as :meth:`push` without keyword re-marshalling;
+        ``kwargs`` must already be ``None`` when empty.  Both scheduler
+        backends expose this entry point (see
+        :class:`repro.simkernel.calqueue.CalendarQueue`).
+        """
         if not callable(callback):
             raise SchedulingError(f"callback must be callable, got {callback!r}")
         if time != time:  # NaN check
@@ -147,7 +167,7 @@ class EventQueue:
             sequence,
             callback,
             args,
-            kwargs if kwargs else None,
+            kwargs,
             label,
             self,
         )
@@ -208,6 +228,16 @@ class EventQueue:
             self._live -= 1
 
     def clear(self) -> None:
-        """Drop all queued events."""
+        """Drop all queued events, leaving outstanding handles inert.
+
+        Every queued event is marked popped before the heap is dropped,
+        so handles still held by caller code can neither cancel their
+        way into the fresh queue's bookkeeping (``note_cancelled`` on an
+        empty queue used to be reachable this way, driving ``_live``
+        negative once new events were pushed) nor be double-cancelled.
+        Sequence numbers keep counting: clear is a drain, not a rewind.
+        """
+        for entry in self._heap:
+            entry[3]._popped = True
         self._heap.clear()
         self._live = 0

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.simkernel.calqueue import CalendarQueue, resolve_queue_backend
 from repro.simkernel.errors import SchedulingError, SimulationFinished
 from repro.simkernel.events import EventQueue, ScheduledEvent
 from repro.simkernel.rng import RandomStreams
@@ -33,6 +34,15 @@ class Simulator:
         uninstrumented runs pay nothing; the event loop itself is never
         instrumented per event -- ``events_fired`` / queue depth are
         sampled at run boundaries instead.
+    queue:
+        Scheduler backend: ``"calendar"`` (the default; see
+        :class:`~repro.simkernel.calqueue.CalendarQueue`) or ``"heap"``
+        (the :class:`~repro.simkernel.events.EventQueue` oracle).  When
+        ``None``, ``$TIBFIT_QUEUE`` decides.  Both backends pop events
+        in the identical ``(time, priority, sequence)`` total order, so
+        results are bit-identical either way.  The calendar backend
+        installs instance-level fast paths (a closure ``after`` and a
+        fused run loop); the heap backend uses the generic methods.
 
     Examples
     --------
@@ -49,9 +59,19 @@ class Simulator:
         seed: int = 0,
         trace: Optional[TraceLog] = None,
         metrics: Optional[MetricsRegistry] = None,
+        queue: Optional[str] = None,
     ) -> None:
         self._now = 0.0
-        self._queue = EventQueue()
+        self.queue_backend = resolve_queue_backend(queue)
+        if self.queue_backend == "heap":
+            self._queue = EventQueue()
+            self._run_loop = None
+        else:
+            self._queue = CalendarQueue()
+            self._run_loop = self._queue.run_loop
+            # Shadow the class-level after() with the backend's closure:
+            # one call frame from protocol code to an armed arena slot.
+            self.after = self._queue.make_after(self)
         self.streams = RandomStreams(seed)
         self.trace = trace if trace is not None else TraceLog()
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
@@ -99,13 +119,8 @@ class Simulator:
             raise SchedulingError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        return self._queue.push(
-            time,
-            callback,
-            priority=priority,
-            args=args,
-            kwargs=kwargs,
-            label=label,
+        return self._queue.schedule(
+            time, priority, callback, args, kwargs if kwargs else None, label
         )
 
     def after(
@@ -117,16 +132,21 @@ class Simulator:
         label: str = "",
         **kwargs: Any,
     ) -> ScheduledEvent:
-        """Schedule ``callback`` after a non-negative ``delay`` from now."""
+        """Schedule ``callback`` after a non-negative ``delay`` from now.
+
+        On the calendar backend this method is shadowed by an
+        instance-level closure with identical signature and semantics
+        (see :meth:`CalendarQueue.make_after`).
+        """
         if delay < 0:
             raise SchedulingError(f"delay must be non-negative, got {delay}")
-        return self.at(
+        return self._queue.schedule(
             self._now + delay,
+            priority,
             callback,
-            *args,
-            priority=priority,
-            label=label,
-            **kwargs,
+            args,
+            kwargs if kwargs else None,
+            label,
         )
 
     def every(
@@ -174,20 +194,24 @@ class Simulator:
             raise SchedulingError("Simulator.run is not reentrant")
         self._running = True
         self._stopped = False
-        pop_next = self._queue.pop_next
+        run_loop = self._run_loop
         try:
-            while True:
-                event = pop_next(until)
-                if event is None:
-                    break
-                self._now = event.time
-                self._events_fired += 1
-                try:
-                    event.fire()
-                except SimulationFinished:
-                    break
-                if self._stopped:
-                    break
+            if run_loop is not None:
+                run_loop(self, until)
+            else:
+                pop_next = self._queue.pop_next
+                while True:
+                    event = pop_next(until)
+                    if event is None:
+                        break
+                    self._now = event.time
+                    self._events_fired += 1
+                    try:
+                        event.fire()
+                    except SimulationFinished:
+                        break
+                    if self._stopped:
+                        break
             if until is not None and self._now < until and not self._stopped:
                 self._now = until
         finally:
@@ -254,6 +278,9 @@ class Timer:
         self._handle: Optional[ScheduledEvent] = None
         self._cancelled = False
         self.fired = 0
+        # Calendar backend: re-arm the same arena slot in place each
+        # tick instead of pop+push+new-object (None on the heap).
+        self._rearm = getattr(sim._queue, "rearm", None)
 
     @property
     def cancelled(self) -> bool:
@@ -261,6 +288,13 @@ class Timer:
         return self._cancelled
 
     def _schedule(self, when: float) -> None:
+        handle = self._handle
+        if handle is not None and self._rearm is not None:
+            # The fused path takes a fresh sequence number at exactly
+            # the program point the oracle would re-push, so tie order
+            # against other same-time events is preserved bit-for-bit.
+            if self._rearm(handle, when) is not None:
+                return
         self._handle = self._sim.at(
             when, self._tick, label=self._label or "timer"
         )

@@ -1,0 +1,422 @@
+"""Differential suite: CalendarQueue vs. the heapq EventQueue oracle.
+
+The calendar backend's whole claim is *bit-identity*: every observable
+-- pop order, ``len``, ``peek_time``, ``pop_next(until)`` blocking,
+late-cancel semantics, validation errors -- must match the heap oracle
+exactly, so experiments produce identical results under either
+``TIBFIT_QUEUE`` value.  These tests replay the same operation scripts
+against both backends and compare full traces, then pin the
+calendar-specific machinery the oracle has no analogue for: the
+recycled event arena, in-place :meth:`CalendarQueue.rearm`, the
+priority-range guard, and the sorted-burst drain (which only engages
+inside :meth:`CalendarQueue.run_loop`, so those scenarios run through
+the :class:`Simulator`).
+"""
+
+import random
+
+import pytest
+
+from repro.simkernel.calqueue import CalendarQueue, resolve_queue_backend
+from repro.simkernel.errors import SchedulingError
+from repro.simkernel.events import EventQueue
+from repro.simkernel.simulator import Simulator
+
+BACKENDS = ("heap", "calendar")
+
+
+def _noop():
+    pass
+
+
+# ----------------------------------------------------------------------
+# Queue-level differential replay
+# ----------------------------------------------------------------------
+def _replay(queue_cls, ops):
+    """Apply an op script; return the full observable trace."""
+    q = queue_cls()
+    handles = []
+    trace = []
+    for op in ops:
+        kind = op[0]
+        if kind == "push":
+            _, t, prio = op
+            handles.append(
+                q.push(t, _noop, priority=prio, label=str(len(handles)))
+            )
+            trace.append(("len", len(q)))
+        elif kind == "cancel":
+            if handles:
+                handles[op[1] % len(handles)].cancel()
+            trace.append(("len", len(q)))
+        elif kind == "pop":
+            try:
+                e = q.pop()
+                trace.append(("pop", e.time, e.priority, e.sequence, e.label))
+            except IndexError:
+                trace.append(("pop", "empty"))
+        elif kind == "pop_until":
+            e = q.pop_next(op[1])
+            trace.append(
+                ("pop_next", None)
+                if e is None
+                else ("pop_next", e.time, e.priority, e.sequence, e.label)
+            )
+        elif kind == "peek":
+            trace.append(("peek", q.peek_time()))
+    while q:
+        e = q.pop()
+        trace.append(("drain", e.time, e.priority, e.sequence, e.label))
+    return trace
+
+
+def _mirror(ops):
+    """Assert the oracle and the calendar queue agree on an op script."""
+    expected = _replay(EventQueue, ops)
+    actual = _replay(CalendarQueue, ops)
+    assert actual == expected
+    return expected
+
+
+# A small time grid keeps collisions frequent (the interesting case).
+_TIMES = (0.0, 0.5, 1.0, 1.0, 2.5, 5.0, 5.0, 17.0, 100.0, 1e6)
+
+
+def _random_ops(seed, n=120):
+    rng = random.Random(seed)
+    ops = []
+    for _ in range(n):
+        r = rng.random()
+        if r < 0.50:
+            ops.append(("push", rng.choice(_TIMES) + rng.choice((0.0, 0.25)),
+                        rng.randint(-2, 2)))
+        elif r < 0.65:
+            ops.append(("cancel", rng.randrange(1 << 16)))
+        elif r < 0.80:
+            ops.append(("pop",))
+        elif r < 0.92:
+            ops.append(("pop_until", rng.choice(_TIMES)))
+        else:
+            ops.append(("peek",))
+    return ops
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_interleavings_match_oracle(seed):
+    _mirror(_random_ops(seed))
+
+
+def test_same_time_cohort_pops_in_oracle_order():
+    ops = [("push", 5.0, p) for p in (1, -1, 0, 1, -1, 0, -2, 2)]
+    trace = _mirror(ops)
+    popped = [t[1:4] for t in trace if t[0] == "drain"]
+    assert popped == sorted(popped)
+
+
+def test_pop_until_blocks_identically():
+    ops = [
+        ("push", 1.0, 0),
+        ("push", 5.0, 0),
+        ("pop_until", 2.0),
+        ("pop_until", 2.0),  # blocked: 5.0 stays queued
+        ("peek",),
+        ("pop_until", 5.0),
+    ]
+    _mirror(ops)
+
+
+def test_cancel_heavy_interleaving():
+    ops = []
+    for i in range(40):
+        ops.append(("push", float(i % 7), i % 3 - 1))
+    for i in range(0, 40, 2):
+        ops.append(("cancel", i))
+    ops.append(("pop",))
+    ops.extend([("cancel", i) for i in range(40)])  # double/late cancels
+    _mirror(ops)
+
+
+def test_validation_errors_match_oracle():
+    for queue_cls in (EventQueue, CalendarQueue):
+        with pytest.raises(SchedulingError):
+            queue_cls().push(1.0, "not callable")
+        with pytest.raises(SchedulingError):
+            queue_cls().push(float("nan"), _noop)
+
+
+# ----------------------------------------------------------------------
+# Simulator-level differential (exercises run_loop, bursts, timers,
+# slot recycling -- handles are dropped, so the arena actually reuses)
+# ----------------------------------------------------------------------
+def _fire_trace(backend, program):
+    sim = Simulator(seed=0, queue=backend)
+    trace = []
+    program(sim, trace)
+    sim.run()
+    trace.append(("final", sim.now, sim.events_fired))
+    return trace
+
+
+def _both(program):
+    heap = _fire_trace("heap", program)
+    calendar = _fire_trace("calendar", program)
+    assert calendar == heap
+    return heap
+
+
+def test_chain_and_fanout_fire_identically():
+    def program(sim, trace):
+        def tick(depth):
+            trace.append((sim.now, "tick", depth, sim.events_fired))
+            if depth < 40:
+                sim.after(0.001, tick, depth + 1)
+                if depth % 5 == 0:
+                    for k in range(4):
+                        sim.after(0.0, tick, 99)  # same-instant fan-out
+        sim.after(0.001, tick, 0)
+
+    _both(program)
+
+
+def test_random_delay_program_fires_identically():
+    def program(sim, trace):
+        rng = random.Random(7)
+
+        def fire(tag):
+            trace.append((sim.now, tag))
+            if rng.random() < 0.4:
+                sim.after(rng.choice((0.0, 0.5, 1.7)), fire, tag + 1000)
+
+        for i in range(60):
+            sim.after(
+                rng.choice((0.0, 0.5, 0.5, 3.0, 40.0)),
+                fire,
+                i,
+                priority=rng.randint(-2, 0),
+            )
+
+    _both(program)
+
+
+def test_periodic_timers_fire_identically():
+    def program(sim, trace):
+        timers = []
+
+        def beat(tag):
+            trace.append((sim.now, "beat", tag))
+            if sim.now > 0.25 and timers:
+                timers.pop().cancel()  # mid-run cancel hits rearm's slot
+
+        for i in range(5):
+            timers.append(
+                sim.every(0.01 + 0.003 * i, beat, i, count=60)
+            )
+
+    _both(program)
+
+
+def test_mid_drain_same_time_insert_joins_cohort():
+    # The first cohort member schedules another event at the *same*
+    # instant (delay 0.0): on the calendar backend it must bisect into
+    # the active burst exactly where the oracle's heap would pop it.
+    def program(sim, trace):
+        def member(tag):
+            trace.append((sim.now, tag))
+            if tag == 0:
+                sim.after(0.0, member, "joined")
+                sim.after(0.0, member, "joined-early", priority=-2)
+
+        for i in range(6):
+            sim.after(5.0, member, i)
+
+    trace = _both(program)
+    tags = [t[1] for t in trace if t[0] == 5.0]
+    # priority -2 preempts the remaining priority-0 members; the
+    # priority-0 joiner (highest sequence) fires last.
+    assert tags == [0, "joined-early", 1, 2, 3, 4, 5, "joined"]
+
+
+def test_burst_flush_back_on_earlier_insert():
+    # run(until) can return with a burst mid-drain; a then-scheduled
+    # *earlier* event must flush the cohort back and still fire first.
+    def program_events(backend):
+        sim = Simulator(seed=0, queue=backend)
+        trace = []
+        for i in range(6):
+            sim.after(5.0, lambda i=i: trace.append((sim.now, i)))
+        sim.run(until=4.0)  # forms the burst on calendar, fires nothing
+        assert trace == []
+        sim.after(4.5 - sim.now, lambda: trace.append((sim.now, "early")))
+        sim.run()
+        return trace
+
+    assert program_events("calendar") == program_events("heap")
+
+
+def test_mid_drain_cancel_skips_burst_member():
+    def program(sim, trace):
+        handles = []
+
+        def member(tag):
+            trace.append((sim.now, tag))
+            if tag == 0:
+                handles[3].cancel()
+                handles[5].cancel()
+
+        for i in range(6):
+            handles.append(sim.after(5.0, member, i))
+
+    trace = _both(program)
+    assert [t[1] for t in trace if t[0] == 5.0] == [0, 1, 2, 4]
+
+
+# ----------------------------------------------------------------------
+# Arena / calendar-specific machinery
+# ----------------------------------------------------------------------
+class TestArena:
+    def test_dropped_handle_slot_is_recycled(self):
+        q = CalendarQueue()
+        q.push(1.0, _noop)
+        first = q.pop()
+        slot = first.slot
+        del first  # release the only outside reference
+        q.push(2.0, _noop)  # free list still empty (slot pending)
+        second = q.pop()  # now the first slot hits the free list
+        del second
+        reused = q.push(3.0, _noop)
+        assert reused.slot == slot
+        assert reused.generation == 1  # bumped on change of tenant
+
+    def test_held_handle_prevents_reuse(self):
+        q = CalendarQueue()
+        q.push(1.0, _noop)
+        held = q.pop()
+        slot = held.slot
+        q.push(2.0, _noop)
+        q.pop()
+        fresh = q.push(3.0, _noop)
+        if fresh.slot == slot:  # slot reused under a *new* object
+            assert fresh is not held
+            assert fresh.generation > held.generation
+        held.cancel()  # orphaned handle: forever a no-op
+        assert not held.cancelled
+        assert len(q) == 1
+
+    def test_rearm_only_applies_to_pending_slot(self):
+        q = CalendarQueue()
+        q.push(1.0, _noop)
+        q.push(2.0, _noop)
+        a = q.pop()
+        b = q.pop()  # b is now the pending-free slot, a is parked
+        assert q.rearm(a, 5.0) is None
+        assert q.rearm(b, 5.0) is b
+        assert len(q) == 1
+        assert q.pop() is b
+
+    def test_rearm_takes_fresh_sequence(self):
+        q = CalendarQueue()
+        q.push(1.0, _noop)
+        e = q.pop()
+        old_seq = e.sequence
+        old_gen = e.generation
+        assert q.rearm(e, 2.0) is e
+        assert e.sequence > old_seq  # tie order matches oracle pop+push
+        assert e.generation == old_gen + 1
+        assert e.time == 2.0
+
+    def test_rearm_rejects_foreign_and_queued_events(self):
+        q1, q2 = CalendarQueue(), CalendarQueue()
+        q2.push(1.0, _noop)
+        foreign = q2.pop()
+        assert q1.rearm(foreign, 5.0) is None
+        queued = q1.push(1.0, _noop)
+        assert q1.rearm(queued, 5.0) is None  # not popped yet
+        assert len(q1) == 1
+
+    @pytest.mark.parametrize("priority", [1 << 19, -(1 << 19) - 1])
+    def test_out_of_range_priority_rejected(self, priority):
+        with pytest.raises(SchedulingError):
+            CalendarQueue().push(1.0, _noop, priority=priority)
+        sim = Simulator(seed=0, queue="calendar")
+        with pytest.raises(SchedulingError):
+            sim.after(1.0, _noop, priority=priority)
+
+    @pytest.mark.parametrize("priority", [(1 << 19) - 1, -(1 << 19)])
+    def test_boundary_priorities_accepted(self, priority):
+        q = CalendarQueue()
+        q.push(1.0, _noop, priority=priority)
+        assert q.pop().priority == priority
+
+    def test_clear_leaves_handles_inert(self):
+        # Same regression contract as EventQueue.clear: a cleared
+        # handle can't cancel its way into the fresh bookkeeping.
+        q = CalendarQueue()
+        handles = [q.push(float(i), _noop) for i in range(5)]
+        q.clear()
+        assert len(q) == 0
+        assert q.peek_time() is None
+        for h in handles:
+            h.cancel()
+        assert len(q) == 0
+        q.push(9.0, _noop)
+        assert len(q) == 1
+        assert q.pop().time == 9.0
+
+    def test_negative_delay_rejected_by_fast_after(self):
+        sim = Simulator(seed=0, queue="calendar")
+        with pytest.raises(SchedulingError):
+            sim.after(-1.0, _noop)
+        with pytest.raises(SchedulingError):
+            sim.after(float("nan"), _noop)
+        with pytest.raises(SchedulingError):
+            sim.after(1.0, "not callable")
+
+
+# ----------------------------------------------------------------------
+# Golden builders: full experiment pipeline, backend-identical
+# ----------------------------------------------------------------------
+def test_golden_builders_identical_under_both_backends(monkeypatch):
+    """Every golden fixture document is bit-identical heap vs calendar.
+
+    This is the end-to-end statement of the contract: the production
+    run_point/run_decay paths (radio, trust, clustering, diagnosis,
+    rotating CHs) produce the same floats under either scheduler.
+    """
+    from tests.golden.builders import BUILDERS
+
+    docs = {}
+    for backend in BACKENDS:
+        monkeypatch.setenv("TIBFIT_QUEUE", backend)
+        docs[backend] = {name: build() for name, build in BUILDERS.items()}
+    assert docs["calendar"] == docs["heap"]
+
+
+# ----------------------------------------------------------------------
+# Backend resolution
+# ----------------------------------------------------------------------
+class TestBackendResolution:
+    def test_explicit_names(self):
+        assert resolve_queue_backend("heap") == "heap"
+        assert resolve_queue_backend("calendar") == "calendar"
+
+    def test_env_default_and_override(self, monkeypatch):
+        monkeypatch.delenv("TIBFIT_QUEUE", raising=False)
+        assert resolve_queue_backend() == "calendar"
+        monkeypatch.setenv("TIBFIT_QUEUE", "heap")
+        assert resolve_queue_backend() == "heap"
+
+    def test_bad_values_rejected(self, monkeypatch):
+        with pytest.raises(SchedulingError):
+            resolve_queue_backend("fifo")
+        monkeypatch.setenv("TIBFIT_QUEUE", "fifo")
+        with pytest.raises(SchedulingError, match="TIBFIT_QUEUE"):
+            resolve_queue_backend()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_simulator_wires_backend(self, backend):
+        sim = Simulator(seed=0, queue=backend)
+        assert sim.queue_backend == backend
+        fired = []
+        sim.after(1.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.0]

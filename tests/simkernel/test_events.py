@@ -120,6 +120,34 @@ class TestCancellation:
         assert len(q) == 0
         assert q.peek_time() is None
 
+    def test_cancel_after_clear_is_noop(self):
+        """Handles outlive clear() as inert objects (regression).
+
+        Historically a handle from before clear() could still reach
+        note_cancelled() on the emptied queue, driving _live negative
+        once new events were pushed -- so len() under-reported and the
+        run loop stopped with live events still queued.
+        """
+        q = EventQueue()
+        stale = [q.push(float(i), _noop) for i in range(3)]
+        q.clear()
+        for handle in stale:
+            handle.cancel()  # every one must be a no-op
+            assert not handle.cancelled
+        assert len(q) == 0
+        q.push(9.0, _noop)
+        assert len(q) == 1  # _live not corrupted by the stale cancels
+        assert q.pop_next().time == 9.0
+        assert q.pop_next() is None
+
+    def test_clear_keeps_sequence_counting(self):
+        """clear() is a drain, not a rewind: tie order stays global."""
+        q = EventQueue()
+        before = q.push(1.0, _noop)
+        q.clear()
+        after = q.push(1.0, _noop)
+        assert after.sequence > before.sequence
+
 
 class TestPopNext:
     def test_pop_next_respects_until(self):
