@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-save bench-compare bench-e2e bench-e2e-compare bench-e2e-save profile examples figures golden-save chaos clean
+.PHONY: install test bench bench-save bench-compare bench-e2e bench-e2e-compare bench-e2e-save profile profile-e2e examples figures golden-save chaos clean
 
 install:
 	pip install -e '.[test]'
@@ -40,6 +40,11 @@ bench-e2e-save:
 # top-20 cumulative functions -- the next hot spot, one command away.
 profile:
 	PYTHONPATH=src $(PYTHON) benchmarks/profile_hotspots.py
+
+# cProfile every BENCH_e2e.json sweep point (top-25 cumulative each),
+# stamped with the queue and decision backends in effect.
+profile-e2e:
+	$(PYTHON) benchmarks/bench_e2e.py profile
 
 # Run every example script in sequence.
 examples:

@@ -73,6 +73,13 @@ def queue_backend() -> str:
     return resolve_queue_backend()
 
 
+def decision_backend() -> str:
+    """The CH decision backend these numbers were measured under."""
+    from repro.core.decision_kernel import resolve_decision_backend
+
+    return resolve_decision_backend()
+
+
 def _bench_exp1() -> None:
     from repro.experiments import experiment1
     from repro.experiments.config import Experiment1Config
@@ -160,6 +167,7 @@ def cmd_save(args: argparse.Namespace) -> int:
                     "python": previous.get("python"),
                     "git_sha": previous.get("git_sha"),
                     "queue_backend": previous.get("queue_backend"),
+                    "decision_backend": previous.get("decision_backend"),
                     "benchmarks": previous["benchmarks"],
                 }
             )
@@ -171,6 +179,7 @@ def cmd_save(args: argparse.Namespace) -> int:
         "label": args.label,
         "git_sha": git_sha(),
         "queue_backend": queue_backend(),
+        "decision_backend": decision_backend(),
         "python": platform.python_version(),
         "machine": platform.machine(),
         "repeats": args.repeats,
@@ -218,6 +227,44 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """cProfile every e2e bench point; print the top cumulative costs.
+
+    One warmed profiled run per bench: the warm-up absorbs import and
+    memo-building costs so the profile shows the steady state, the same
+    regime ``save`` / ``compare`` time.  Deterministic inputs make the
+    call counts reproducible even though the timings wobble.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    names = args.benches or list(BENCHES)
+    unknown = [name for name in names if name not in BENCHES]
+    if unknown:
+        raise SystemExit(
+            f"unknown bench(es): {', '.join(unknown)}; "
+            f"choose from {', '.join(BENCHES)}"
+        )
+    print(
+        f"queue_backend={queue_backend()} "
+        f"decision_backend={decision_backend()}"
+    )
+    for name in names:
+        fn = BENCHES[name]
+        fn()  # warm-up, unprofiled
+        profiler = cProfile.Profile()
+        profiler.enable()
+        fn()
+        profiler.disable()
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("cumulative").print_stats(args.top)
+        print(f"\n=== {name} (top {args.top} by cumulative time) ===")
+        print(stream.getvalue())
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -242,8 +289,27 @@ def main() -> int:
         default=0.25,
         help="maximum tolerated slowdown per bench (default 0.25 = 25%%)",
     )
+    p_prof = sub.add_parser(
+        "profile", help="cProfile each bench point (top-N cumulative)"
+    )
+    p_prof.add_argument(
+        "--top",
+        type=int,
+        default=25,
+        help="rows of the cumulative-time table to print (default 25)",
+    )
+    p_prof.add_argument(
+        "benches",
+        nargs="*",
+        metavar="BENCH",
+        help="subset of bench names (default: all)",
+    )
     args = parser.parse_args()
-    return {"save": cmd_save, "compare": cmd_compare}[args.command](args)
+    return {
+        "save": cmd_save,
+        "compare": cmd_compare,
+        "profile": cmd_profile,
+    }[args.command](args)
 
 
 if __name__ == "__main__":

@@ -411,6 +411,155 @@ def test_kernel_cancel_heavy_heap(benchmark):
     assert fired == 10_000
 
 
+# Per-window-size deployment density and blob layout: each event site's
+# sensing disk (r_s = 20) must contain exactly the nodes reporting that
+# blob, so votes are unanimous (zero dissenters) and trust state reaches
+# a fixed point after the first window.  Without that, repeated timed
+# windows keep penalising the same dissenters, the trust table's
+# interned code chains grow without bound, and the bench measures
+# code-table churn instead of the decision pipeline.
+_WINDOW_LAYOUTS = {
+    # n: (grid nodes, field side, sites)
+    8: (64, 100.0, (Point(35.0, 40.0),)),
+    30: (121, 100.0, (Point(25.0, 25.0), Point(75.0, 70.0))),
+    120: (225, 100.0, (Point(25.0, 25.0), Point(75.0, 25.0),
+                       Point(25.0, 75.0), Point(75.0, 75.0))),
+}
+
+
+def _steady_window(deployment, n, sites, sensing_radius=20.0):
+    """An n-report fault-free window: every event neighbour reports.
+
+    Each site's reporters are exactly the nodes within ``r_s`` of it,
+    claiming the site plus a tiny (well under ``r_error``) jitter --
+    the common fault-free window of a low-fault sweep.  If the sites'
+    disks hold fewer than ``n`` distinct reporters, the window is
+    padded with duplicate reports (re-transmissions) that dedupe must
+    drop, keeping the report count at exactly ``n``.
+    """
+    reporters = []   # (node_id, claim Point)
+    for site in sites:
+        for node_id in deployment.event_neighbors(site, sensing_radius):
+            j = len(reporters)
+            claim = Point(
+                site.x + 0.02 * (j % 5) - 0.04,
+                site.y + 0.015 * (j % 4) - 0.0225,
+            )
+            reporters.append((node_id, claim))
+            if len(reporters) == n:
+                return reporters
+    dup = 0
+    while len(reporters) < n:
+        reporters.append(reporters[dup])
+        dup += 1
+    return reporters
+
+
+def _decision_setup(n):
+    """One steady-state n-report CH window, both decision backends.
+
+    Returns both backends (independent but identically-parameterised
+    voters) with ingest prebuilt on each side -- the object path's
+    ``LocationReport`` list, and the array path's pre-filled
+    :class:`ReportBuffer` plus ``(time, node_id)``-sorted row index --
+    so the timed functions measure the decision pipeline alone, the
+    way production runs it (ingest happens at message arrival, decide
+    at circle close).
+    """
+    from repro.core.decision_kernel import DecisionKernel, ReportBuffer
+    from repro.core.location import LocationDecisionEngine, LocationReport
+
+    n_nodes, side, sites = _WINDOW_LAYOUTS[n]
+    deployment = grid_deployment(n_nodes, Region.square(side))
+    reporters = _steady_window(deployment, n, sites)
+
+    def make_voter():
+        return CtiVoter(TrustTable(
+            TrustParameters(lam=0.25, fault_rate=0.1),
+            node_ids=range(n_nodes),
+        ))
+
+    engine = LocationDecisionEngine(
+        deployment=deployment, sensing_radius=20.0, r_error=5.0,
+        voter=make_voter(),
+    )
+    kernel = DecisionKernel(
+        deployment=deployment, sensing_radius=20.0, r_error=5.0,
+        voter=make_voter(),
+    )
+    reports = [
+        LocationReport(node_id=node_id, location=claim, time=0.001 * i)
+        for i, (node_id, claim) in enumerate(reporters)
+    ]
+    buf = ReportBuffer()
+    rows = np.asarray(
+        [
+            buf.append(r.node_id, r.location.x, r.location.y, r.time)
+            for r in reports
+        ],
+        dtype=np.intp,
+    )
+    sorted_rows = rows[np.lexsort((buf.ids[rows], buf.times[rows]))]
+    # Steady state sanity: every blob's vote must be unanimous, else
+    # repeated windows drift trust state and the numbers stop meaning
+    # "decision pipeline cost".
+    for decision in engine.decide(reports):
+        assert decision.occurred and not decision.dissenters
+    engine.voter = make_voter()
+    return engine, kernel, reports, buf, sorted_rows
+
+
+def _make_window_benches(n):
+    def bench_object(benchmark):
+        engine, _kernel, reports, _buf, _rows = _decision_setup(n)
+        decisions = benchmark(engine.decide, reports)
+        assert decisions
+
+    def bench_array(benchmark):
+        _engine, kernel, _reports, buf, rows = _decision_setup(n)
+        decisions = benchmark(kernel.decide_rows, buf, rows)
+        assert decisions
+
+    return bench_object, bench_array
+
+
+# n=8 sits below the old _NUMPY_MIN_REPORTS=18 crossover, where the
+# object path still clusters Point objects pairwise; n=30 just above
+# it, n=120 at event-region scale.
+test_decision_window_object_n8, test_decision_window_array_n8 = (
+    _make_window_benches(8)
+)
+test_decision_window_object_n30, test_decision_window_array_n30 = (
+    _make_window_benches(30)
+)
+test_decision_window_object_n120, test_decision_window_array_n120 = (
+    _make_window_benches(120)
+)
+
+
+def test_topology_small_n_scan(benchmark):
+    """400 neighbour + nearest queries below the grid-index threshold.
+
+    A 36-node deployment never builds the grid index, so these queries
+    run the vectorised small-n fallback over the cached coords arrays
+    (previously a per-node Python loop).
+    """
+    deployment = grid_deployment(36, Region.square(60.0))
+    queries = [
+        Point(7.0 * i % 60.0, 13.0 * i % 60.0) for i in range(200)
+    ]
+
+    def run_queries():
+        total = 0
+        for q in queries:
+            total += len(deployment.event_neighbors(q, 20.0))
+            total += len(deployment.nearest(q, k=4))
+        return total
+
+    total = benchmark(run_queries)
+    assert total > 0
+
+
 def test_shared_topology_setup(benchmark):
     """500 memo-served deployments + indexes (the per-trial setup cost)."""
     from repro.network.topology import shared_grid_deployment

@@ -26,6 +26,11 @@ from typing import List, Optional, Sequence, Tuple, Union
 from repro.core.baseline import MajorityVoter
 from repro.core.binary import CtiVoter
 from repro.core.concurrent import CircleTracker
+from repro.core.decision_kernel import (
+    DecisionKernel,
+    ReportBuffer,
+    resolve_decision_backend,
+)
 from repro.core.diagnosis import FaultDiagnoser
 from repro.core.location import (
     LocatedDecision,
@@ -33,7 +38,7 @@ from repro.core.location import (
     LocationReport,
 )
 from repro.core.trust import TrustParameters, TrustTable
-from repro.network.geometry import Point
+from repro.network.geometry import Point, displace_xy
 from repro.network.messages import (
     ChDecisionAnnouncement,
     EventReportMessage,
@@ -161,6 +166,8 @@ class ClusterHead(NetworkNode):
         self.probe = None
         self._tracker: Optional[CircleTracker] = None
         self._engine: Optional[LocationDecisionEngine] = None
+        self._kernel: Optional[DecisionKernel] = None
+        self._report_buffer: Optional[ReportBuffer] = None
         self._binary_window: List[EventReportMessage] = []
         self._binary_window_open = False
 
@@ -173,19 +180,40 @@ class ClusterHead(NetworkNode):
             self.voter.metrics = sim.metrics
         if self.config.mode == "location":
             # The engine warms the deployment's spatial index with
-            # cell size r_s (see LocationDecisionEngine.__init__).
+            # cell size r_s (see LocationDecisionEngine.__init__).  It
+            # is always built: it is the object-path oracle and the
+            # public decision API some callers drive directly.
             self._engine = LocationDecisionEngine(
                 deployment=self.deployment,
                 sensing_radius=self.config.sensing_radius,
                 r_error=self.config.r_error,
                 voter=self.voter,
             )
-            self._tracker = CircleTracker(
-                sim,
-                r_error=self.config.r_error,
-                t_out=self.config.t_out,
-                on_group=self._decide_group,
-            )
+            if resolve_decision_backend() == "array":
+                # Struct-of-arrays hot path: reports accumulate as
+                # buffer rows and windows close straight into the
+                # array kernel (see repro.core.decision_kernel).
+                self._report_buffer = ReportBuffer()
+                self._kernel = DecisionKernel(
+                    deployment=self.deployment,
+                    sensing_radius=self.config.sensing_radius,
+                    r_error=self.config.r_error,
+                    voter=self.voter,
+                )
+                self._tracker = CircleTracker(
+                    sim,
+                    r_error=self.config.r_error,
+                    t_out=self.config.t_out,
+                    buffer=self._report_buffer,
+                    on_group_rows=self._decide_group_rows,
+                )
+            else:
+                self._tracker = CircleTracker(
+                    sim,
+                    r_error=self.config.r_error,
+                    t_out=self.config.t_out,
+                    on_group=self._decide_group,
+                )
 
     def set_members(self, members: Sequence[int]) -> None:
         """Restrict the cluster membership (multi-cluster deployments)."""
@@ -237,8 +265,17 @@ class ClusterHead(NetworkNode):
                 self.sim.now, "ch.report.unknown-node", sender=message.sender
             )
             return
-        location = message.resolve_location(node_position)
         assert self._tracker is not None  # set in attach()
+        if self._kernel is not None:
+            # Array backend: resolve the offset to plain floats and
+            # append one buffer row -- no LocationReport object.
+            offset = message.offset
+            x, y = displace_xy(
+                node_position.x, node_position.y, offset.r, offset.theta
+            )
+            self._tracker.on_report_row(message.sender, x, y)
+            return
+        location = message.resolve_location(node_position)
         self._tracker.on_report(
             LocationReport(
                 node_id=message.sender, location=location, time=self.sim.now
@@ -274,6 +311,22 @@ class ClusterHead(NetworkNode):
         assert self._engine is not None
         decisions = self._engine.decide(
             reports, excluded_nodes=self._excluded_set()
+        )
+        for decision in decisions:
+            self._record_decision(
+                decision.occurred,
+                decision.location,
+                decision.supporters,
+                decision.dissenters,
+            )
+
+    def _decide_group_rows(self, rows) -> None:
+        """Row-mode :meth:`_decide_group`: closed window as buffer rows."""
+        if not self.alive:
+            return  # see _decide_binary: crashed CHs decide nothing
+        assert self._kernel is not None and self._report_buffer is not None
+        decisions = self._kernel.decide_rows(
+            self._report_buffer, rows, excluded_nodes=self._excluded_set()
         )
         for decision in decisions:
             self._record_decision(

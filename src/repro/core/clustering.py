@@ -27,17 +27,23 @@ Two implementations coexist:
   the original per-``Point`` loops -- retained both as the oracle for
   the randomized equivalence suite and as the faster choice below the
   numpy crossover;
-* the **flat-array fast path** (:func:`_cluster_reports_arrays`), which
-  converts the window once to ``(xs, ys)`` float arrays, precomputes
-  the full pairwise distance matrix, and runs seeding / assignment /
-  merging on numpy.
+* the **flat-array fast path** (:func:`cluster_reports_xy`), which
+  works on ``(xs, ys)`` float arrays directly, precomputes the full
+  pairwise distance matrix once, and reuses it across farthest-pair
+  selection, coverage seeding, and the first assignment round (the
+  initial centres *are* report rows, so their distance columns already
+  exist in the matrix).
 
 Both produce bit-identical output: every distance is evaluated as
 ``sqrt(dx*dx + dy*dy)`` (each step correctly rounded, scalar and
 vectorised alike -- see :meth:`repro.network.geometry.Point.distance_to`),
 ``np.argmin`` breaks ties at the lowest index exactly like the scalar
 scan, and centres of gravity are accumulated in ascending report order
-in both paths.  :func:`cluster_reports` dispatches on window size.
+in both paths.  :func:`cluster_reports` dispatches on window size for
+``Point``-sequence callers (converting small windows to arrays costs
+more than it saves); :func:`cluster_reports_xy` is crossover-free and
+serves the struct-of-arrays decision kernel
+(:mod:`repro.core.decision_kernel`), whose windows are already arrays.
 """
 
 from __future__ import annotations
@@ -109,6 +115,57 @@ def cluster_reports(
     if n < _NUMPY_MIN_REPORTS:
         return _cluster_reports_scalar(locations, r_error)
     return _cluster_reports_arrays(locations, r_error)
+
+
+def cluster_reports_xy(
+    xs: np.ndarray, ys: np.ndarray, r_error: float
+) -> List[ReportCluster]:
+    """Array-native clustering entry: coordinates as flat float arrays.
+
+    Identical output to :func:`cluster_reports` over the corresponding
+    ``Point`` sequence, but crossover-free: the caller already holds
+    ``(xs, ys)`` float64 arrays (the decision kernel's window rows), so
+    there is no conversion cost to amortise and the flat-array pipeline
+    wins at every window size.  The upper-triangle index pair for the
+    farthest-pair scan is memoised per window size, so small windows pay
+    no repeated ``np.triu_indices`` setup.
+    """
+    if r_error <= 0:
+        raise ValueError(f"r_error must be positive, got {r_error}")
+    n = len(xs)
+    if n == 0:
+        return []
+    if n == 1:
+        return [
+            ReportCluster(
+                indices=(0,), center=Point(float(xs[0]), float(ys[0]))
+            )
+        ]
+    if n < _FLAT_MIN_NUMPY:
+        # .tolist() yields plain Python floats -- np.float64 elements
+        # leaking into Point would change reprs (and thus fingerprints).
+        return _cluster_reports_flat(xs.tolist(), ys.tolist(), r_error)
+    return _cluster_reports_xy(xs, ys, r_error)
+
+
+def cluster_reports_flat(
+    xs: List[float], ys: List[float], r_error: float
+) -> List[ReportCluster]:
+    """Clustering entry over plain float lists (no numpy, no ``Point``).
+
+    The decision kernel's small-window scalar route already holds the
+    window as Python float lists; this entry skips even the array
+    wrapping.  Output is bit-identical to :func:`cluster_reports` /
+    :func:`cluster_reports_xy` over the same coordinates.
+    """
+    if r_error <= 0:
+        raise ValueError(f"r_error must be positive, got {r_error}")
+    n = len(xs)
+    if n == 0:
+        return []
+    if n == 1:
+        return [ReportCluster(indices=(0,), center=Point(xs[0], ys[0]))]
+    return _cluster_reports_flat(xs, ys, r_error)
 
 
 def cluster_reports_reference(
@@ -275,12 +332,235 @@ def _build_clusters(
 
 
 # ----------------------------------------------------------------------
+# Flat scalar fast path (small windows)
+# ----------------------------------------------------------------------
+#: Window size below which the flat float-list path beats numpy.
+#: Sub-microsecond Python float arithmetic wins against per-ufunc
+#: dispatch overhead (~1-2us each) until the O(n^2) distance work
+#: dominates; measured on this container the paths cross near 12-16
+#: reports (coherent blobs cross later than uniform scatter, and
+#: post-gate windows are blob-shaped, so the threshold leans high).
+_FLAT_MIN_NUMPY = 16
+
+
+def _cluster_reports_flat(
+    xs: List[float], ys: List[float], r_error: float
+) -> List[ReportCluster]:
+    """Scalar clustering over parallel float lists (``n >= 2``).
+
+    Operation-for-operation the reference path
+    (:func:`_cluster_reports_scalar`) with every ``Point`` attribute
+    access replaced by a list subscript: same farthest-pair scan with
+    strict ``>``, same seeding order, same nearest-centre tie-break,
+    same left-to-right centroid accumulation -- so the output bits
+    match both the reference and the numpy path.
+    """
+    n = len(xs)
+    sqrt = math.sqrt
+    # Bounding-box pre-check: rounding is monotone, so every pairwise
+    # distance is <= the bbox diagonal even in floating point, and a
+    # diagonal within r_error guarantees the farthest-pair scan below
+    # would land in the single-cluster exit.  The nominal TIBFIT
+    # window -- every correct reporter of one event, claims within the
+    # error radius -- hits this in O(n) instead of O(n^2).
+    wx = max(xs) - min(xs)
+    wy = max(ys) - min(ys)
+    if sqrt(wx * wx + wy * wy) <= r_error:
+        single = True
+        bi, bj = 0, 1
+    else:
+        best_d = -1.0
+        bi, bj = 0, 1
+        for i in range(n):
+            xi = xs[i]
+            yi = ys[i]
+            for j in range(i + 1, n):
+                dx = xi - xs[j]
+                dy = yi - ys[j]
+                d = sqrt(dx * dx + dy * dy)
+                if d > best_d:
+                    best_d = d
+                    bi, bj = i, j
+        single = best_d <= r_error
+    if single:
+        # Single-cluster early exit (see the scalar reference).
+        sx = 0.0
+        sy = 0.0
+        for k in range(n):
+            sx += xs[k]
+            sy += ys[k]
+        return [
+            ReportCluster(
+                indices=tuple(range(n)),
+                center=Point(sx / float(n), sy / float(n)),
+            )
+        ]
+
+    # Steps 2-3: farthest-pair seeds, then coverage seeds.
+    cxl = [xs[bi], xs[bj]]
+    cyl = [ys[bi], ys[bj]]
+    for k in range(n):
+        if k == bi or k == bj:
+            continue
+        xk = xs[k]
+        yk = ys[k]
+        for c in range(len(cxl)):
+            dx = xk - cxl[c]
+            dy = yk - cyl[c]
+            if sqrt(dx * dx + dy * dy) <= r_error:
+                break
+        else:
+            cxl.append(xk)
+            cyl.append(yk)
+
+    assignment: List[int] = []
+    current = _assign_flat(xs, ys, cxl, cyl)
+    for _ in range(_MAX_ROUNDS):
+        cxl, cyl = _recenter_flat(xs, ys, current, len(cxl))
+        cxl, cyl, current = _merge_close_flat(xs, ys, cxl, cyl, r_error)
+        if current == assignment:
+            break
+        assignment = current
+
+    return _build_clusters_arrays(xs, ys, assignment)
+
+
+def _assign_flat(
+    xs: List[float],
+    ys: List[float],
+    cxl: List[float],
+    cyl: List[float],
+) -> List[int]:
+    """Step 4 on float lists; ties keep the lower centre index."""
+    assignment = []
+    append = assignment.append
+    sqrt = math.sqrt
+    k = len(cxl)
+    for idx in range(len(xs)):
+        x = xs[idx]
+        y = ys[idx]
+        dx = x - cxl[0]
+        dy = y - cyl[0]
+        best_d = sqrt(dx * dx + dy * dy)
+        best_c = 0
+        for c in range(1, k):
+            dx = x - cxl[c]
+            dy = y - cyl[c]
+            d = sqrt(dx * dx + dy * dy)
+            if d < best_d:
+                best_d = d
+                best_c = c
+        append(best_c)
+    return assignment
+
+
+def _recenter_flat(
+    xs: List[float],
+    ys: List[float],
+    assignment: List[int],
+    k: int,
+) -> Tuple[List[float], List[float]]:
+    """Centres of gravity, sequential left-to-right accumulation."""
+    sx = [0.0] * k
+    sy = [0.0] * k
+    counts = [0] * k
+    for idx, cluster_idx in enumerate(assignment):
+        sx[cluster_idx] += xs[idx]
+        sy[cluster_idx] += ys[idx]
+        counts[cluster_idx] += 1
+    cxl = [sx[a] / float(counts[a]) for a in range(k) if counts[a]]
+    cyl = [sy[a] / float(counts[a]) for a in range(k) if counts[a]]
+    return cxl, cyl
+
+
+def _merge_close_flat(
+    xs: List[float],
+    ys: List[float],
+    cxl: List[float],
+    cyl: List[float],
+    r_error: float,
+) -> Tuple[List[float], List[float], List[int]]:
+    """Step 5 on float lists (the merge loop of ``_merge_close_arrays``
+    with the assignment rounds scalar as well)."""
+    assignment = _assign_flat(xs, ys, cxl, cyl)
+    counts = [0] * len(cxl)
+    for cluster_idx in assignment:
+        counts[cluster_idx] += 1
+
+    any_merge = False
+    merged = True
+    while merged and len(cxl) > 1:
+        merged = False
+        for a in range(len(cxl)):
+            for b in range(a + 1, len(cxl)):
+                ddx = cxl[a] - cxl[b]
+                ddy = cyl[a] - cyl[b]
+                if math.sqrt(ddx * ddx + ddy * ddy) <= r_error:
+                    weight_a = max(counts[a], 1)
+                    weight_b = max(counts[b], 1)
+                    total = float(weight_a + weight_b)
+                    new_x = (cxl[a] * weight_a + cxl[b] * weight_b) / total
+                    new_y = (cyl[a] * weight_a + cyl[b] * weight_b) / total
+                    cxl = [
+                        c for idx, c in enumerate(cxl) if idx not in (a, b)
+                    ] + [new_x]
+                    cyl = [
+                        c for idx, c in enumerate(cyl) if idx not in (a, b)
+                    ] + [new_y]
+                    counts = [
+                        n for idx, n in enumerate(counts) if idx not in (a, b)
+                    ] + [weight_a + weight_b]
+                    merged = True
+                    any_merge = True
+                    break
+            if merged:
+                break
+
+    if any_merge:
+        assignment = _assign_flat(xs, ys, cxl, cyl)
+    return cxl, cyl, assignment
+
+
+# ----------------------------------------------------------------------
 # Flat-array fast path
 # ----------------------------------------------------------------------
+#: Memoised pairwise-distance workspace keyed on window size -- the
+#: decision kernel clusters thousands of small same-sized windows per
+#: sweep point, and with preallocated ``(n, n)`` scratch buffers every
+#: ufunc in the pipeline writes through ``out=`` instead of allocating.
+#: The same two buffers back the farthest-pair matrix and (as ``(n,
+#: k)`` views) every assignment round.  Bounded like the other pure
+#: caches in this repo.
+_WS_MEMO: dict = {}
+_WS_MEMO_MAX = 512
+
+
+def _pair_workspace(n: int) -> Tuple[np.ndarray, np.ndarray]:
+    ws = _WS_MEMO.get(n)
+    if ws is None:
+        if len(_WS_MEMO) >= _WS_MEMO_MAX:
+            _WS_MEMO.clear()
+        ws = (
+            np.empty((n, n), dtype=np.float64),
+            np.empty((n, n), dtype=np.float64),
+        )
+        _WS_MEMO[n] = ws
+    return ws
+
+
 def _cluster_reports_arrays(
     locations: Sequence[Point], r_error: float
 ) -> List[ReportCluster]:
-    """Numpy implementation over flat ``(xs, ys)`` arrays.
+    """Numpy path for ``Point`` sequences: convert once, then cluster."""
+    xs = np.array([p.x for p in locations], dtype=np.float64)
+    ys = np.array([p.y for p in locations], dtype=np.float64)
+    return _cluster_reports_xy(xs, ys, r_error)
+
+
+def _cluster_reports_xy(
+    xs: np.ndarray, ys: np.ndarray, r_error: float
+) -> List[ReportCluster]:
+    """Numpy implementation over flat ``(xs, ys)`` arrays (``n >= 2``).
 
     Bit-identical to the scalar path: distances are the same
     correctly-rounded ``sqrt(dx*dx + dy*dy)`` expression evaluated
@@ -288,24 +568,32 @@ def _cluster_reports_arrays(
     like the scalar scans, and centroids are accumulated sequentially
     in ascending report order.
     """
-    n = len(locations)
-    xs_list = [p.x for p in locations]
-    ys_list = [p.y for p in locations]
-    xs = np.array(xs_list, dtype=np.float64)
-    ys = np.array(ys_list, dtype=np.float64)
+    n = len(xs)
+    xs_list = xs.tolist()
+    ys_list = ys.tolist()
 
-    # Step 1: the full pairwise distance matrix, computed once.
-    dx = xs[:, None] - xs[None, :]
-    dy = ys[:, None] - ys[None, :]
-    dmat = np.sqrt(dx * dx + dy * dy)
+    # Step 1: the full pairwise distance matrix, computed once in the
+    # memoised per-size workspace (no allocations) and reused for
+    # farthest-pair selection, coverage seeding, and the first
+    # assignment round.
+    work_a, work_b = _pair_workspace(n)
+    np.subtract(xs[:, None], xs[None, :], out=work_a)
+    np.subtract(ys[:, None], ys[None, :], out=work_b)
+    np.multiply(work_a, work_a, out=work_a)
+    np.multiply(work_b, work_b, out=work_b)
+    np.add(work_a, work_b, out=work_a)
+    dmat = np.sqrt(work_a, out=work_a)
 
-    # The farthest pair is the first row-major maximum of the upper
-    # triangle -- the same (i, j) the scalar double loop keeps with
-    # its strict ``>``.
-    iu_rows, iu_cols = np.triu_indices(n, k=1)
-    flat = dmat[iu_rows, iu_cols]
-    m = int(np.argmax(flat))
-    if float(flat[m]) <= r_error:
+    # The farthest pair is the first row-major maximum of the full
+    # matrix -- the same (i, j) the scalar double loop keeps with its
+    # strict ``>``: for any i < j the flat position i*n + j precedes
+    # its mirror j*n + i, so the first occurrence of the maximum is
+    # always the lexicographically-first upper-triangle pair.  (The
+    # all-coincident window lands on the zero diagonal, which the
+    # single-cluster exit below absorbs exactly like the scalar path.)
+    m = int(np.argmax(dmat))
+    i, j = divmod(m, n)
+    if float(dmat[i, j]) <= r_error:
         # Single-cluster early exit, mirroring the scalar path: the
         # centre is accumulated left-to-right exactly as
         # _build_clusters_arrays would.
@@ -320,13 +608,16 @@ def _cluster_reports_arrays(
                 center=Point(sx / float(n), sy / float(n)),
             )
         ]
-    i, j = int(iu_rows[m]), int(iu_cols[m])
 
-    cx, cy = _seed_centers_arrays(dmat, xs, ys, n, r_error, i, j)
+    center_idx = _seed_center_indices(dmat, n, r_error, i, j)
+    cx, cy = xs[center_idx], ys[center_idx]
     # Carry each round's closing assignment into the next round (see
-    # the scalar path).
+    # the scalar path).  The initial centres are report rows, so their
+    # distance columns already sit in ``dmat`` -- the opening
+    # assignment is a gather, not a recompute (same bits: dmat[a, c]
+    # was produced by the very expression _assign_arrays evaluates).
     assignment: List[int] = []
-    current = _assign_arrays(xs, ys, cx, cy)
+    current = np.argmin(dmat[:, center_idx], axis=1).tolist()
     for _ in range(_MAX_ROUNDS):
         cx, cy = _recenter_arrays(xs_list, ys_list, current, len(cx))
         cx, cy, current = _merge_close_arrays(
@@ -339,15 +630,13 @@ def _cluster_reports_arrays(
     return _build_clusters_arrays(xs_list, ys_list, assignment)
 
 
-def _seed_centers_arrays(
+def _seed_center_indices(
     dmat: np.ndarray,
-    xs: np.ndarray,
-    ys: np.ndarray,
     n: int,
     r_error: float,
     i: int,
     j: int,
-) -> Tuple[np.ndarray, np.ndarray]:
+) -> List[int]:
     """Steps 2-3 on the precomputed distance matrix.
 
     Greedy coverage seeding tracks a ``covered`` mask: a report is
@@ -363,16 +652,29 @@ def _seed_centers_arrays(
         if not covered[k]:
             center_idx.append(k)
             covered |= dmat[k] <= r_error
-    return xs[center_idx], ys[center_idx]
+    return center_idx
 
 
 def _assign_arrays(
     xs: np.ndarray, ys: np.ndarray, cx: np.ndarray, cy: np.ndarray
 ) -> List[int]:
-    """Step 4 vectorised; ``np.argmin`` keeps the lowest tied index."""
-    dx = xs[:, None] - cx[None, :]
-    dy = ys[:, None] - cy[None, :]
-    d = np.sqrt(dx * dx + dy * dy)
+    """Step 4 vectorised; ``np.argmin`` keeps the lowest tied index.
+
+    Runs in ``(n, k)`` views of the same pairwise workspace the
+    farthest-pair matrix used (``k <= n`` always: centres start as
+    report rows and only merge).  The matrix is never read after the
+    opening assignment, so clobbering it here is safe.
+    """
+    k = len(cx)
+    work_a, work_b = _pair_workspace(len(xs))
+    da = work_a[:, :k]
+    db = work_b[:, :k]
+    np.subtract(xs[:, None], cx[None, :], out=da)
+    np.subtract(ys[:, None], cy[None, :], out=db)
+    np.multiply(da, da, out=da)
+    np.multiply(db, db, out=db)
+    np.add(da, db, out=da)
+    d = np.sqrt(da, out=da)
     return np.argmin(d, axis=1).tolist()
 
 
@@ -467,11 +769,17 @@ def _build_clusters_arrays(
     ys_list: List[float],
     assignment: List[int],
 ) -> List[ReportCluster]:
-    groups: dict[int, List[int]] = {}
+    # Group by centre index with a dense list (centre indices are small
+    # ints).  Iteration order differs from the old first-appearance
+    # dict, but the closing sort key (-size, first member) is unique
+    # per cluster, so the sorted output is identical.
+    groups: List[List[int]] = [[] for _ in range(max(assignment) + 1)]
     for report_idx, cluster_idx in enumerate(assignment):
-        groups.setdefault(cluster_idx, []).append(report_idx)
+        groups[cluster_idx].append(report_idx)
     clusters = []
-    for indices in groups.values():
+    for indices in groups:
+        if not indices:
+            continue
         sx = 0.0
         sy = 0.0
         for i in indices:

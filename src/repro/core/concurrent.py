@@ -14,6 +14,18 @@ cannot use a single global collection window.  Instead:
    union of their reports is clustered together.
 
 Two circles overlap when their centres are closer than ``2 * r_error``.
+
+The tracker runs in one of two modes, fixed at construction:
+
+* **object mode** (``on_group=``): circles collect
+  :class:`~repro.core.location.LocationReport` objects and a closed
+  group delivers the merged, ``(time, node_id)``-sorted report list --
+  the retained oracle path.
+* **row mode** (``buffer=`` + ``on_group_rows=``): circles collect row
+  indices into a :class:`~repro.core.decision_kernel.ReportBuffer` and
+  a closed group delivers the lexsorted row-index array.  The sort key
+  and stability match the object path's ``list.sort`` exactly, and the
+  buffer is reset whenever the last open circle closes.
 """
 
 from __future__ import annotations
@@ -22,6 +34,8 @@ import itertools
 import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.core.location import LocationReport
 from repro.network.geometry import Point
@@ -50,6 +64,8 @@ class EventCircle:
     expires_at: float
     circle_id: int = field(default_factory=lambda: next(_circle_ids))
     reports: List[LocationReport] = field(default_factory=list)
+    #: Row-mode membership: indices into the tracker's ReportBuffer.
+    rows: List[int] = field(default_factory=list)
     closed: bool = False
 
     def contains(self, location: Point, r_error: float) -> bool:
@@ -73,10 +89,16 @@ class CircleTracker:
     t_out:
         Per-circle collection window ``T_out``.
     on_group:
-        Called as ``on_group(reports)`` with the merged report list of
-        each fully expired overlapping circle group.  The caller then
-        clusters and votes (see
+        Object mode: called as ``on_group(reports)`` with the merged
+        report list of each fully expired overlapping circle group.
+        The caller then clusters and votes (see
         :class:`repro.core.location.LocationDecisionEngine`).
+    buffer / on_group_rows:
+        Row mode: reports enter via :meth:`on_report_row` as buffer
+        rows, and ``on_group_rows(row_indices)`` receives each closed
+        group as a ``(time, node_id)``-lexsorted ``np.intp`` index
+        array into ``buffer``.  Exactly one of ``on_group`` /
+        ``on_group_rows`` must be given.
     """
 
     def __init__(
@@ -84,16 +106,28 @@ class CircleTracker:
         sim: Simulator,
         r_error: float,
         t_out: float,
-        on_group: Callable[[List[LocationReport]], None],
+        on_group: Optional[Callable[[List[LocationReport]], None]] = None,
+        buffer=None,
+        on_group_rows: Optional[Callable[[np.ndarray], None]] = None,
     ) -> None:
         if r_error <= 0:
             raise ValueError(f"r_error must be positive, got {r_error}")
         if t_out <= 0:
             raise ValueError(f"t_out must be positive, got {t_out}")
+        if (on_group is None) == (on_group_rows is None):
+            raise ValueError(
+                "exactly one of on_group / on_group_rows must be given"
+            )
+        if (on_group_rows is None) != (buffer is None):
+            raise ValueError(
+                "buffer is required with (and only with) on_group_rows"
+            )
         self._sim = sim
         self.r_error = r_error
         self.t_out = t_out
         self._on_group = on_group
+        self._on_group_rows = on_group_rows
+        self._buffer = buffer
         self._circles: Dict[int, EventCircle] = {}
         # Flat per-open-circle centre coordinates, kept parallel to
         # ``_open_ids`` in circle-creation order: ``on_report`` runs for
@@ -128,6 +162,27 @@ class CircleTracker:
                 return circle
         return self._open_circle(report)
 
+    def on_report_row(self, node_id: int, x: float, y: float) -> None:
+        """Row-mode :meth:`on_report`: append to the buffer and route.
+
+        Same circle-scan order and membership rule as the object path;
+        the report exists only as a buffer row.
+        """
+        row = self._buffer.append(node_id, x, y, self._sim.now)
+        r_error = self.r_error
+        for pos, circle_id in enumerate(self._open_ids):
+            dx = self._open_x[pos] - x
+            dy = self._open_y[pos] - y
+            if math.sqrt(dx * dx + dy * dy) <= r_error:
+                self._circles[circle_id].rows.append(row)
+                return
+        circle = EventCircle(
+            center=Point(x, y),
+            expires_at=self._sim.now + self.t_out,
+        )
+        circle.rows.append(row)
+        self._register_circle(circle)
+
     def open_circles(self) -> List[EventCircle]:
         """Currently open circles (stable order by id)."""
         return [
@@ -153,6 +208,11 @@ class CircleTracker:
             expires_at=self._sim.now + self.t_out,
         )
         circle.reports.append(report)
+        self._register_circle(circle)
+        return circle
+
+    def _register_circle(self, circle: EventCircle) -> None:
+        """Shared circle bookkeeping: dict, flat lists, timer, trace."""
         self._circles[circle.circle_id] = circle
         self._open_ids.append(circle.circle_id)
         self._open_x.append(circle.center.x)
@@ -168,10 +228,9 @@ class CircleTracker:
             self._sim.now,
             "concurrent.open",
             circle=circle.circle_id,
-            x=report.location.x,
-            y=report.location.y,
+            x=circle.center.x,
+            y=circle.center.y,
         )
-        return circle
 
     def _on_expiry(self, circle_id: int) -> None:
         circle = self._circles.get(circle_id)
@@ -211,6 +270,9 @@ class CircleTracker:
 
     def _close_group(self, seed: EventCircle) -> None:
         group = self._overlap_component(seed)
+        if self._on_group_rows is not None:
+            self._close_group_rows(group)
+            return
         merged: List[LocationReport] = []
         for circle in group:
             circle.closed = True
@@ -226,3 +288,32 @@ class CircleTracker:
             reports=len(merged),
         )
         self._on_group(merged)
+
+    def _close_group_rows(self, group: List[EventCircle]) -> None:
+        """Row-mode group close: deliver lexsorted buffer row indices.
+
+        ``np.lexsort((ids, times))`` sorts by time with node id as the
+        tie-breaker and is stable, so equal ``(time, node_id)`` rows
+        keep their concatenation order -- exactly the object path's
+        ``merged.sort(key=(time, node_id))`` over the same circle
+        order.  The buffer resets once no circle remains open.
+        """
+        rows: List[int] = []
+        for circle in group:
+            circle.closed = True
+            rows.extend(circle.rows)
+            del self._circles[circle.circle_id]
+        self._rebuild_open()
+        self.groups_closed += 1
+        self._sim.trace.emit(
+            self._sim.now,
+            "concurrent.close",
+            circles=[c.circle_id for c in group],
+            reports=len(rows),
+        )
+        buffer = self._buffer
+        idx = np.asarray(rows, dtype=np.intp)
+        order = np.lexsort((buffer.ids[idx], buffer.times[idx]))
+        self._on_group_rows(idx[order])
+        if not self._circles:
+            buffer.reset()

@@ -170,9 +170,23 @@ class LocationDecisionEngine:
     def _dedupe(
         reports: Sequence[LocationReport], excluded: set
     ) -> List[LocationReport]:
+        # The circle tracker delivers groups already sorted by
+        # (time, node_id) -- see CircleTracker._close_group -- so the
+        # common case is a linear sortedness check, not an O(n log n)
+        # re-sort per window.  Direct callers passing unsorted reports
+        # still get the earliest-wins order via the fallback sort.
+        ordered: Sequence[LocationReport] = reports
+        for i in range(1, len(reports)):
+            prev = reports[i - 1]
+            cur = reports[i]
+            if (prev.time, prev.node_id) > (cur.time, cur.node_id):
+                ordered = sorted(
+                    reports, key=lambda r: (r.time, r.node_id)
+                )
+                break
         seen = set()
         unique = []
-        for report in sorted(reports, key=lambda r: (r.time, r.node_id)):
+        for report in ordered:
             if report.node_id in excluded or report.node_id in seen:
                 continue
             seen.add(report.node_id)

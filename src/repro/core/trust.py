@@ -200,6 +200,12 @@ _CHAIN_STEPS = 8
 #: Buffered counter batches are flushed past this many entries.
 _PENDING_FLUSH = 4096
 
+#: Fast partitions at or below this many participants vote through a
+#: plain Python loop over the memoised slot list: numpy's per-ufunc
+#: dispatch (~1-2us per gather / scatter) costs more than scalar code
+#: table hops until the partition is a few dozen nodes wide.
+_SCALAR_VOTE_MAX = 24
+
 _NO_CODE = -1
 
 
@@ -218,6 +224,7 @@ class _Partition:
         "nr",
         "n_r",
         "slots_all",
+        "slots_list",
         "slots_r",
         "slots_nr",
         "flags_occ",
@@ -232,6 +239,7 @@ class _Partition:
         self.slots_all = slots_all
         self.fast = fast
         if fast:
+            self.slots_list = slots_all.tolist()
             self.slots_r = slots_all[:n_r]
             self.slots_nr = slots_all[n_r:]
             # Offsets into the interleaved transition table: winners
@@ -241,6 +249,7 @@ class _Partition:
             self.flags_occ = np.asarray([1] * n_r + [0] * n_nr, dtype=np.intp)
             self.flags_not = np.asarray([0] * n_r + [1] * n_nr, dtype=np.intp)
         else:
+            self.slots_list = None
             self.slots_r = None
             self.slots_nr = None
             self.flags_occ = None
@@ -659,6 +668,65 @@ class TrustTable:
             return occurred, r, nr, cti_r, cti_nr, tie, winners, losers
         r, nr, n_r = part.r, part.nr, part.n_r
 
+        slots = part.slots_list
+        if len(slots) <= _SCALAR_VOTE_MAX:
+            # Small-partition scalar path: below a few dozen
+            # participants the vectorised branch's gathers and scatters
+            # cost more in per-ufunc dispatch than plain code-table
+            # hops.  Reads, sequential sums, and transitions are the
+            # same per-element operations as the vectorised branch, so
+            # result and trust state stay bit-identical.
+            vc = self._vc_buf
+            code_ti = self._code_ti
+            codes = [int(vc[s]) for s in slots]
+            cti_r = 0.0
+            for c in codes[:n_r]:
+                cti_r += code_ti[c]
+            cti_nr = 0.0
+            for c in codes[n_r:]:
+                cti_nr += code_ti[c]
+            tie = cti_r == cti_nr
+            occurred = tie_breaks_to_occurred if tie else cti_r > cti_nr
+            winners, losers = (r, nr) if occurred else (nr, r)
+            if apply_updates:
+                if occurred:
+                    win_lo, win_hi = 0, n_r
+                    lose_lo, lose_hi = n_r, len(slots)
+                else:
+                    win_lo, win_hi = n_r, len(slots)
+                    lose_lo, lose_hi = 0, n_r
+                rew_next = self._rew_next
+                for i in range(win_lo, win_hi):
+                    code = codes[i]
+                    nxt = rew_next[code]
+                    if nxt == _NO_CODE:
+                        # Pre-build a chain run like the vectorised
+                        # branch: a lockstep group climbing the ladder
+                        # stays off the miss path for _CHAIN_STEPS
+                        # votes.
+                        self._extend_rew_chain(code)
+                        rew_next = self._rew_next
+                        nxt = rew_next[code]
+                    vc[slots[i]] = nxt
+                pen_next = self._pen_next
+                for i in range(lose_lo, lose_hi):
+                    code = codes[i]
+                    nxt = pen_next[code]
+                    if nxt == _NO_CODE:
+                        self._extend_pen_chain(code)
+                        pen_next = self._pen_next
+                        nxt = pen_next[code]
+                    vc[slots[i]] = nxt
+                if occurred:
+                    self._pending_correct.append(part.slots_r)
+                    self._pending_faulty.append(part.slots_nr)
+                else:
+                    self._pending_correct.append(part.slots_nr)
+                    self._pending_faulty.append(part.slots_r)
+                if len(self._pending_faulty) > _PENDING_FLUSH:
+                    self._flush_counters()
+            return occurred, r, nr, cti_r, cti_nr, tie, winners, losers
+
         n_codes = len(self._code_v)
         slots_all = part.slots_all
         vc = self._vc()
@@ -737,7 +805,13 @@ class TrustTable:
         return self._code_ti[nxt]
 
     def penalize_many(self, node_ids: Iterable[int]) -> None:
-        """Charge one faulty report to each node (batch, no TI returned)."""
+        """Charge one faulty report to each node (batch, no TI returned).
+
+        Callers must pass plain Python ints (the array decision kernel
+        ``.tolist()``s its id arrays before calling): ``_index`` is a
+        dict keyed on the ints given at construction, and ``np.int64``
+        keys would miss the memoised slots.
+        """
         index_get = self._index.get
         pen_next = self._pen_next
         pending = self._pending_faulty

@@ -64,6 +64,20 @@ class Point:
         yield self.y
 
 
+def displace_xy(
+    x: float, y: float, r: float, theta: float
+) -> Tuple[float, float]:
+    """Coordinates of ``Point(x, y).displace(PolarOffset(r, theta))``.
+
+    The struct-of-arrays decision kernel resolves report offsets into
+    plain floats without materialising ``Point`` / ``PolarOffset``
+    objects; this helper keeps the arithmetic in one place and written
+    as the exact expression :meth:`Point.displace` evaluates, so both
+    paths produce bit-identical coordinates.
+    """
+    return (x + r * math.cos(theta), y + r * math.sin(theta))
+
+
 @dataclass(frozen=True)
 class PolarOffset:
     """A displacement expressed as range ``r`` and bearing ``theta`` (radians).

@@ -90,6 +90,20 @@ class ChDecisionAnnouncement(Message):
     reporters: Tuple[int, ...] = ()
     non_reporters: Tuple[int, ...] = ()
 
+    def participant_sets(self) -> Tuple[frozenset, frozenset]:
+        """``(reporters, non_reporters)`` as sets, built once per message.
+
+        A broadcast hands the *same* announcement instance to every
+        node in the cluster, and each receiver asks "am I in R / NR?".
+        Linear tuple scans per receiver turn that into O(cluster^2) per
+        decision; the lazily cached sets make it one hash probe.
+        """
+        sets = getattr(self, "_participant_sets", None)
+        if sets is None:
+            sets = (frozenset(self.reporters), frozenset(self.non_reporters))
+            object.__setattr__(self, "_participant_sets", sets)
+        return sets
+
 
 @dataclass(frozen=True)
 class TiTableTransfer(Message):

@@ -35,6 +35,10 @@ from repro.network.geometry import Point, Region
 #: Measured on this container the paths break even at ~64 nodes.
 _INDEX_MIN_NODES = 64
 
+#: Candidate-row count at or below which the list-returning disk query
+#: filters with per-element ``math.sqrt`` instead of the array mask.
+_SCALAR_FILTER_MAX = 32
+
 
 class _SpatialGrid:
     """Immutable grid-bucket snapshot of a deployment's positions.
@@ -46,12 +50,35 @@ class _SpatialGrid:
     arrays.
     """
 
-    __slots__ = ("cell", "ids", "xs", "ys", "buckets")
+    __slots__ = (
+        "cell",
+        "ids",
+        "xs",
+        "ys",
+        "buckets",
+        "_range_rows",
+        "_range_lists",
+    )
 
     def __init__(self, positions: Dict[int, Point], cell: float) -> None:
         if cell <= 0:
             raise ValueError(f"cell size must be positive, got {cell}")
         self.cell = cell
+        # Memoised per-cell-range candidate rows for the array disk
+        # query: the decision kernel issues one neighbour query per
+        # cluster vote, and cluster centres revisit the same handful of
+        # cell ranges, so the bucket gather + concatenate + sort is paid
+        # once per range instead of once per query.  The snapshot is
+        # immutable, so entries never go stale; the dict dies with the
+        # grid on deployment mutation.
+        self._range_rows: Dict[
+            Tuple[int, int, int, int],
+            Tuple[np.ndarray, np.ndarray, np.ndarray],
+        ] = {}
+        self._range_lists: Dict[
+            Tuple[int, int, int, int],
+            Tuple[List[int], List[float], List[float]],
+        ] = {}
         ids = sorted(positions)
         self.ids = np.array(ids, dtype=np.int64)
         self.xs = np.array([positions[i].x for i in ids], dtype=np.float64)
@@ -94,6 +121,77 @@ class _SpatialGrid:
             return chunks[0]
         return np.concatenate(chunks)
 
+    def disk_rows_sorted(
+        self, x: float, y: float, radius: float
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(ids, xs, ys)`` of every node in cells overlapping the
+        disk's bounding box, sorted by id; memoised per cell range.
+
+        Same candidate set as :meth:`disk_candidates` (identical cell
+        range), pre-sorted so the caller's distance mask yields ids in
+        ascending order with no per-query sort.
+        """
+        cell = self.cell
+        key = (
+            math.floor((x - radius) / cell),
+            math.floor((x + radius) / cell),
+            math.floor((y - radius) / cell),
+            math.floor((y + radius) / cell),
+        )
+        rows = self._range_rows.get(key)
+        if rows is None:
+            gx0, gx1, gy0, gy1 = key
+            if (gx1 - gx0 + 1) * (gy1 - gy0 + 1) >= len(self.buckets):
+                rows = (self.ids, self.xs, self.ys)
+            else:
+                chunks = []
+                for gx in range(gx0, gx1 + 1):
+                    for gy in range(gy0, gy1 + 1):
+                        members = self.buckets.get((gx, gy))
+                        if members is not None:
+                            chunks.append(members)
+                if not chunks:
+                    rows = (
+                        np.empty(0, dtype=np.int64),
+                        np.empty(0, dtype=np.float64),
+                        np.empty(0, dtype=np.float64),
+                    )
+                else:
+                    idx = (
+                        chunks[0]
+                        if len(chunks) == 1
+                        else np.sort(np.concatenate(chunks))
+                    )
+                    # ids is ascending, so ascending indices mean
+                    # ascending ids (per-bucket members are already
+                    # sorted; only multi-bucket concatenation needs
+                    # the sort above).
+                    rows = (self.ids[idx], self.xs[idx], self.ys[idx])
+            self._range_rows[key] = rows
+        return rows
+
+    def disk_rows_lists(
+        self, x: float, y: float, radius: float
+    ) -> Tuple[List[int], List[float], List[float]]:
+        """:meth:`disk_rows_sorted` as plain Python lists, memoised.
+
+        The grid snapshot is immutable, so the ``tolist`` conversion is
+        paid once per cell range instead of once per query.
+        """
+        cell = self.cell
+        key = (
+            math.floor((x - radius) / cell),
+            math.floor((x + radius) / cell),
+            math.floor((y - radius) / cell),
+            math.floor((y + radius) / cell),
+        )
+        lists = self._range_lists.get(key)
+        if lists is None:
+            ids, xs, ys = self.disk_rows_sorted(x, y, radius)
+            lists = (ids.tolist(), xs.tolist(), ys.tolist())
+            self._range_lists[key] = lists
+        return lists
+
 
 @dataclass
 class Deployment:
@@ -114,6 +212,13 @@ class Deployment:
         default=None, init=False, repr=False, compare=False
     )
     _preferred_cell: Optional[float] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: Lazily built ``(ids, xs, ys)`` flat-array snapshot (ids sorted
+    #: ascending, coordinates aligned) backing the small-n vectorised
+    #: scans and the decision kernel's implausibility mask.  Invalidated
+    #: together with ``_grid`` on every mutation.
+    _coords: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = field(
         default=None, init=False, repr=False, compare=False
     )
 
@@ -141,6 +246,7 @@ class Deployment:
             )
         self.positions[node_id] = position
         self._grid = None
+        self._coords = None
 
     def remove(self, node_id: int) -> None:
         """Remove a node from the deployment (isolation of faulty nodes).
@@ -153,6 +259,7 @@ class Deployment:
             raise KeyError(node_id)
         del self.positions[node_id]
         self._grid = None
+        self._coords = None
 
     def move(self, node_id: int, position: Point) -> None:
         """Update an existing node's position (mobility fast path).
@@ -166,6 +273,7 @@ class Deployment:
             raise KeyError(node_id)
         self.positions[node_id] = position
         self._grid = None
+        self._coords = None
 
     def invalidate_index(self) -> None:
         """Drop the cached spatial index.
@@ -175,6 +283,7 @@ class Deployment:
         :meth:`move`.
         """
         self._grid = None
+        self._coords = None
 
     def ensure_index(self, cell_size: float) -> None:
         """Pre-build the grid index with the given cell size.
@@ -206,6 +315,34 @@ class Deployment:
         extent = max(self.region.width, self.region.height)
         return extent / 8.0 if extent > 0 else 1.0
 
+    def coords_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flat ``(ids, xs, ys)`` snapshot, ids sorted ascending.
+
+        Served from the grid index when one is already built (its flat
+        arrays are exactly this snapshot), otherwise built directly --
+        small deployments never pay for bucketing.  Cached until the
+        next mutation; callers must not write into the returned arrays.
+        """
+        coords = self._coords
+        if coords is None:
+            grid = self._grid
+            if grid is not None:
+                coords = (grid.ids, grid.xs, grid.ys)
+            else:
+                positions = self.positions
+                ids = sorted(positions)
+                coords = (
+                    np.array(ids, dtype=np.int64),
+                    np.array(
+                        [positions[i].x for i in ids], dtype=np.float64
+                    ),
+                    np.array(
+                        [positions[i].y for i in ids], dtype=np.float64
+                    ),
+                )
+            self._coords = coords
+        return coords
+
     def event_neighbors(
         self, event_location: Point, sensing_radius: float
     ) -> List[int]:
@@ -216,7 +353,7 @@ class Deployment:
         if sensing_radius < 0:
             raise ValueError("sensing_radius must be non-negative")
         if len(self.positions) < _INDEX_MIN_NODES:
-            return self._event_neighbors_scalar(
+            return self._event_neighbors_small(
                 event_location, sensing_radius
             )
         return self._event_neighbors_indexed(event_location, sensing_radius)
@@ -224,12 +361,104 @@ class Deployment:
     def _event_neighbors_scalar(
         self, event_location: Point, sensing_radius: float
     ) -> List[int]:
-        """Retained reference scan (also the small-n fast path)."""
+        """Retained reference scan (the per-``Point`` original).
+
+        Kept verbatim as the bit-identity oracle for both the indexed
+        and the small-n vectorised paths.
+        """
         return sorted(
             node_id
             for node_id, pos in self.positions.items()
             if pos.distance_to(event_location) <= sensing_radius
         )
+
+    def _event_neighbors_small(
+        self, event_location: Point, sensing_radius: float
+    ) -> List[int]:
+        """Vectorised small-n scan over the cached coords snapshot.
+
+        Bit-identical to :meth:`_event_neighbors_scalar`: the mask is
+        the same ``sqrt(dx*dx + dy*dy) <= r`` expression per element,
+        and the id array is pre-sorted so the masked result needs no
+        sort.
+        """
+        ids, xs, ys = self.coords_arrays()
+        dx = xs - event_location.x
+        dy = ys - event_location.y
+        return ids[np.sqrt(dx * dx + dy * dy) <= sensing_radius].tolist()
+
+    def event_neighbors_array(
+        self, x: float, y: float, sensing_radius: float
+    ) -> np.ndarray:
+        """:meth:`event_neighbors` returning a sorted int64 array.
+
+        The decision kernel's supporter/dissenter split works on id
+        arrays; this avoids the list materialisation and re-conversion
+        the list API would force.  Same membership and order as
+        :meth:`event_neighbors`.
+        """
+        if sensing_radius < 0:
+            raise ValueError("sensing_radius must be non-negative")
+        if len(self.positions) < _INDEX_MIN_NODES:
+            ids, xs, ys = self.coords_arrays()
+            dx = xs - x
+            dy = ys - y
+            return ids[np.sqrt(dx * dx + dy * dy) <= sensing_radius]
+        grid = self._index(
+            sensing_radius if sensing_radius > 0 else self._fallback_cell()
+        )
+        ids, xs, ys = grid.disk_rows_sorted(x, y, sensing_radius)
+        if not ids.size:
+            return np.empty(0, dtype=np.int64)
+        dx = xs - x
+        dy = ys - y
+        return ids[np.sqrt(dx * dx + dy * dy) <= sensing_radius]
+
+    def event_neighbors_list(
+        self, x: float, y: float, sensing_radius: float
+    ) -> List[int]:
+        """:meth:`event_neighbors` through the memoised candidate rows,
+        scalar-filtered when the candidate set is small.
+
+        A decision-window vote queries one event centre against a
+        handful of grid-cell candidates; at that size per-element
+        ``math.sqrt`` over ``tolist()`` rows beats the array mask's
+        ufunc dispatch plus the ``tolist`` round-trip the caller would
+        pay anyway.  Same expression, membership, and ascending order
+        as :meth:`event_neighbors_array`.
+        """
+        if sensing_radius < 0:
+            raise ValueError("sensing_radius must be non-negative")
+        if len(self.positions) < _INDEX_MIN_NODES:
+            ids, xs, ys = self.coords_arrays()
+            if len(ids) > _SCALAR_FILTER_MAX:
+                dx = xs - x
+                dy = ys - y
+                mask = np.sqrt(dx * dx + dy * dy) <= sensing_radius
+                return ids[mask].tolist()
+            id_l, x_l, y_l = ids.tolist(), xs.tolist(), ys.tolist()
+        else:
+            grid = self._index(
+                sensing_radius if sensing_radius > 0 else self._fallback_cell()
+            )
+            id_l, x_l, y_l = grid.disk_rows_lists(x, y, sensing_radius)
+            if len(id_l) > _SCALAR_FILTER_MAX:
+                # Rare wide-range query: hand the work back to the
+                # array mask (the rows memo makes the extra lookup a
+                # dict hit, not a re-gather).
+                ids, xs, ys = grid.disk_rows_sorted(x, y, sensing_radius)
+                dx = xs - x
+                dy = ys - y
+                mask = np.sqrt(dx * dx + dy * dy) <= sensing_radius
+                return ids[mask].tolist()
+        sqrt = math.sqrt
+        out = []
+        for node_id, nx, ny in zip(id_l, x_l, y_l):
+            dx = nx - x
+            dy = ny - y
+            if sqrt(dx * dx + dy * dy) <= sensing_radius:
+                out.append(node_id)
+        return out
 
     def _event_neighbors_indexed(
         self, event_location: Point, sensing_radius: float
@@ -262,16 +491,30 @@ class Deployment:
         if k <= 0:
             raise ValueError("k must be positive")
         if len(self.positions) < _INDEX_MIN_NODES:
-            return self._nearest_scalar(location, k)
+            return self._nearest_small(location, k)
         return self._nearest_indexed(location, k)
 
     def _nearest_scalar(self, location: Point, k: int) -> List[int]:
-        """Retained reference ranking (also the small-n fast path)."""
+        """Retained reference ranking (the per-``Point`` original)."""
         ranked = sorted(
             self.positions.items(),
             key=lambda item: (item[1].distance_to(location), item[0]),
         )
         return [node_id for node_id, _pos in ranked[:k]]
+
+    def _nearest_small(self, location: Point, k: int) -> List[int]:
+        """Vectorised small-n ranking over the cached coords snapshot.
+
+        Same ``(distance, id)`` order as :meth:`_nearest_scalar` --
+        ``np.lexsort`` sorts by its last key first, so ``(ids, d)``
+        ranks by distance with id breaking ties.
+        """
+        ids, xs, ys = self.coords_arrays()
+        dx = xs - location.x
+        dy = ys - location.y
+        d = np.sqrt(dx * dx + dy * dy)
+        order = np.lexsort((ids, d))
+        return ids[order[:k]].tolist()
 
     def _nearest_indexed(self, location: Point, k: int) -> List[int]:
         """Ranking over the cached flat arrays.

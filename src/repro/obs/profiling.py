@@ -10,9 +10,11 @@ sweep-level manifest next to the per-run artifacts.
 
 Zero overhead when off
 ----------------------
-Phase timing works by *rebinding* the three hot callables
+Phase timing works by *rebinding* the hot callables
 (``Simulator.run``, ``TrustTable.cti_vote``, and the clustering entry
-point) to timing wrappers when :func:`install_phase_timers` runs, and
+points -- both the ``Point``-list ``cluster_reports`` and the array
+kernel's ``cluster_reports_xy``) to timing wrappers when
+:func:`install_phase_timers` runs, and
 restoring the originals on :func:`uninstall_phase_timers`.  Nothing is
 touched when profiling is off, so the unprofiled hot paths carry no
 residue -- not even a flag check.  The wrappers only time; they forward
@@ -96,14 +98,16 @@ def install_phase_timers() -> None:
     """Rebind the phase hot points to timing wrappers (idempotent).
 
     ``cluster_reports`` is imported *by value* into
-    ``repro.core.location``, so both the defining module and that call
-    site are rebound; anything else holding a stale reference simply
-    goes untimed rather than breaking.
+    ``repro.core.location`` (and ``cluster_reports_xy``, the array
+    kernel's entry point, into ``repro.core.decision_kernel``), so both
+    the defining module and each call site are rebound; anything else
+    holding a stale reference simply goes untimed rather than breaking.
     """
     global _installed
     if _installed:
         return
     from repro.core import clustering as _clustering
+    from repro.core import decision_kernel as _kernel
     from repro.core import location as _location
     from repro.core.trust import TrustTable
     from repro.simkernel.simulator import Simulator
@@ -112,6 +116,8 @@ def install_phase_timers() -> None:
     _originals["cti_vote"] = TrustTable.cti_vote
     _originals["cluster_reports"] = _clustering.cluster_reports
     _originals["location_cluster_reports"] = _location.cluster_reports
+    _originals["cluster_reports_xy"] = _clustering.cluster_reports_xy
+    _originals["kernel_cluster_reports_xy"] = _kernel.cluster_reports_xy
 
     Simulator.run = _timed("des", Simulator.run)  # type: ignore[assignment]
     TrustTable.cti_vote = _timed(  # type: ignore[assignment]
@@ -120,6 +126,11 @@ def install_phase_timers() -> None:
     timed_clustering = _timed("clustering", _clustering.cluster_reports)
     _clustering.cluster_reports = timed_clustering
     _location.cluster_reports = timed_clustering
+    timed_clustering_xy = _timed(
+        "clustering", _clustering.cluster_reports_xy
+    )
+    _clustering.cluster_reports_xy = timed_clustering_xy
+    _kernel.cluster_reports_xy = timed_clustering_xy
     _installed = True
 
 
@@ -129,6 +140,7 @@ def uninstall_phase_timers() -> None:
     if not _installed:
         return
     from repro.core import clustering as _clustering
+    from repro.core import decision_kernel as _kernel
     from repro.core import location as _location
     from repro.core.trust import TrustTable
     from repro.simkernel.simulator import Simulator
@@ -139,6 +151,8 @@ def uninstall_phase_timers() -> None:
     )
     _clustering.cluster_reports = _originals.pop("cluster_reports")
     _location.cluster_reports = _originals.pop("location_cluster_reports")
+    _clustering.cluster_reports_xy = _originals.pop("cluster_reports_xy")
+    _kernel.cluster_reports_xy = _originals.pop("kernel_cluster_reports_xy")
     _installed = False
 
 

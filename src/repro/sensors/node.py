@@ -154,9 +154,10 @@ class SensorNode(NetworkNode):
             message, ChDecisionAnnouncement
         ):
             node_id = self.node_id
-            if node_id in message.reporters:
+            reporters, non_reporters = message.participant_sets()
+            if node_id in reporters:
                 self.behavior.observe_outcome(rewarded=message.occurred)
-            elif node_id in message.non_reporters:
+            elif node_id in non_reporters:
                 self.behavior.observe_outcome(rewarded=not message.occurred)
 
     def _observe_decision(self, message: ChDecisionAnnouncement) -> None:

@@ -96,6 +96,34 @@ class TestDecisions:
         # The node's second (conflicting) report is ignored entirely.
         assert len([d for d in decisions if 0 in d.supporters]) == 1
 
+    def test_out_of_order_duplicate_reports_keep_earliest(self):
+        """_dedupe only sorts when the input is actually unsorted (the
+        circle tracker pre-sorts); hand it a shuffled window with
+        duplicates and earliest-wins must still hold."""
+        engine, _ = make_engine(CROWD)
+        reports = [
+            # Later duplicate listed first; also out of time order
+            # across nodes to force the fallback sort.
+            LocationReport(node_id=0, location=Point(80.0, 80.0), time=3.0),
+            LocationReport(node_id=1, location=Point(50.0, 50.0), time=2.0),
+            LocationReport(node_id=0, location=Point(50.0, 50.0), time=1.0),
+            LocationReport(node_id=1, location=Point(80.0, 80.0), time=2.5),
+        ]
+        decisions = engine.decide(reports)
+        winning = [d for d in decisions if d.occurred or d.supporters]
+        # Both nodes' earliest (coincident) claims form one cluster at
+        # (50, 50); the later conflicting claims never enter play.
+        located = [
+            d for d in winning
+            if d.location.distance_to(Point(50.0, 50.0)) < 0.01
+        ]
+        assert len(located) == 1
+        assert located[0].supporters == (0, 1)
+        assert all(
+            d.location.distance_to(Point(80.0, 80.0)) > 0.01
+            for d in decisions
+        )
+
     def test_excluded_nodes_are_invisible(self):
         engine, _ = make_engine(CROWD)
         reports = [
