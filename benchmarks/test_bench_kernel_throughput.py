@@ -16,6 +16,7 @@ from repro.core.trust import TrustParameters, TrustTable
 from repro.network.geometry import Point, Region
 from repro.network.topology import grid_deployment, uniform_random_deployment
 from repro.obs.registry import NULL_REGISTRY
+from repro.obs.spans import NULL_SPANS
 from repro.simkernel.simulator import Simulator
 from repro.simkernel.trace import TraceLog, noop_trace
 
@@ -188,6 +189,31 @@ def test_disabled_metrics_emit_overhead(benchmark):
     touched = benchmark(run_emits)
     assert touched == 0
     assert len(m) == 0
+
+
+def test_disabled_span_emit_overhead(benchmark):
+    """50k guarded span emits against the disabled collector.
+
+    Span sites follow the same convention as metrics and trace --
+    ``if s.enabled: s.point(...)`` -- so a disabled run pays one
+    attribute read per site.  The radio and CH paths each cross a span
+    site per message, so this path regressing to an allocation or a
+    dict touch would show up in every sweep.
+    """
+    s = NULL_SPANS
+
+    def run_emits():
+        emitted = 0
+        for i in range(50_000):
+            if s.enabled:  # pragma: no cover - disabled path
+                s.point("radio.drop", parent=s.current, destination=i)
+                emitted += 1
+        return emitted
+
+    emitted = benchmark(run_emits)
+    assert emitted == 0
+    assert s.emitted == 0
+    assert len(s) == 0
 
 
 def test_trace_count_indexed(benchmark):

@@ -37,9 +37,11 @@ CLUSTER_ID = 0
 class CorruptClusterHead(ClusterHead):
     """A compromised data sink: inverts every verdict it announces."""
 
-    def _record_decision(self, occurred, location, supporters, dissenters):
+    def _record_decision(
+        self, occurred, location, supporters, dissenters, span_id=0
+    ):
         super()._record_decision(
-            not occurred, location, supporters, dissenters
+            not occurred, location, supporters, dissenters, span_id=span_id
         )
 
 

@@ -578,18 +578,48 @@ class ChaosController:
         if not perturbed:
             return None
         metrics = self._sim.metrics
+        spans = self._sim.spans
         if duplicate:
             if metrics.enabled:
                 metrics.counter("chaos.duplicate").inc()
+            if spans.enabled:
+                spans.point(
+                    "chaos.intercept",
+                    parent=spans.current,
+                    action="duplicate",
+                    sender=sender,
+                    receiver=receiver,
+                    extra=extra,
+                )
             # The copy trails the first delivery by the same combined
             # perturbation again (deterministic given the draws above).
             return Intercept(False, (extra, extra + max(extra, 1e-9)))
         if metrics.enabled:
             metrics.counter("chaos.delay").inc()
+        if spans.enabled:
+            spans.point(
+                "chaos.intercept",
+                parent=spans.current,
+                action="delay",
+                sender=sender,
+                receiver=receiver,
+                extra=extra,
+            )
         return Intercept(False, (extra,))
 
     def _drop(self, why: str) -> Intercept:
         metrics = self._sim.metrics
         if metrics.enabled:
             metrics.counter(f"chaos.drop.{why}").inc()
+        spans = self._sim.spans
+        if spans.enabled:
+            # Parent: whatever context scheduled the transmit (the
+            # sender's handler); the matching radio.drop span follows
+            # with reason "intercepted".
+            spans.point(
+                "chaos.intercept",
+                parent=spans.current,
+                action="drop",
+                why=why,
+            )
         return Intercept(True)

@@ -7,6 +7,9 @@ Subcommands::
     tibfit-repro run [...]          one ad-hoc simulation, metrics printed
     tibfit-repro trace [...]        instrumented run: TI evolution,
                                     decision timeline, JSONL artifacts
+                                    (--spans adds causal span capture)
+    tibfit-repro explain DIR [...]  render one decision's full causal
+                                    chain from an exported run directory
     tibfit-repro analyze baseline   eqs. 1-3 success-probability curve
     tibfit-repro analyze decay      Fig.-11 break-even roots and k_max
     tibfit-repro chaos [...]        fault-injection campaign over a
@@ -84,6 +87,24 @@ def _build_parser() -> argparse.ArgumentParser:
                               "first when the network is larger)")
     p_trace.add_argument("--width", type=int, default=60,
                          help="sparkline width in characters")
+    p_trace.add_argument("--spans", action="store_true",
+                         help="collect causal spans; with --out, also "
+                              "write spans.jsonl / provenance.jsonl / "
+                              "spans_chrome.json")
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="explain a TIBFIT verdict from an exported run directory",
+    )
+    p_explain.add_argument(
+        "run_dir", type=str,
+        help="artifact directory written by 'trace --spans --out'")
+    p_explain.add_argument(
+        "--decision", type=int, default=None,
+        help="decision id to explain (default: list all decisions)")
+    p_explain.add_argument(
+        "--node", type=int, default=None,
+        help="render every span naming this node instead")
 
     p_rot = sub.add_parser(
         "rotate", help="rotating multi-cluster network run (§2)"
@@ -259,7 +280,7 @@ def _cmd_fig(args: argparse.Namespace) -> int:
 
 
 def _build_adhoc_run(
-    args: argparse.Namespace, observe: bool = False
+    args: argparse.Namespace, observe: bool = False, spans: bool = False
 ) -> SimulationRun:
     """Assemble the ``run``/``trace`` ad-hoc simulation from CLI options."""
     n_faulty = round(args.nodes * args.percent_faulty / 100.0)
@@ -293,6 +314,7 @@ def _build_adhoc_run(
         diagnosis_threshold=args.diagnosis_threshold,
         seed=args.seed,
         observe=observe,
+        spans=spans,
     )
 
 
@@ -360,7 +382,7 @@ def _render_registry(snapshot: List[Dict[str, object]]) -> str:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    run = _build_adhoc_run(args, observe=True)
+    run = _build_adhoc_run(args, observe=True, spans=args.spans)
     run.run(args.events)
     metrics = run.metrics()
     probe = run.probe
@@ -424,11 +446,200 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print("\nmetrics registry:")
     print(_render_registry(run.registry.snapshot()))
 
+    if args.spans:
+        print(
+            f"\nspans: {run.spans.emitted} emitted, "
+            f"{run.spans.evicted} evicted "
+            f"(explain with: tibfit-repro explain OUT --decision ID)"
+        )
+
     if args.out is not None:
         paths = run.export_artifacts(args.out)
         print("\nartifacts:")
         for name in sorted(paths):
             print(f"  {name}: {paths[name]}")
+    return 0
+
+
+def _format_ti_group(nodes: Sequence[int], tis: Sequence[float]) -> str:
+    """``7(0.98), 12(0.95), ...`` -- per-supporter CTI contributions."""
+    if not nodes:
+        return "(empty)"
+    return ", ".join(
+        f"{node}({ti:.3f})" for node, ti in zip(nodes, tis)
+    )
+
+
+def _render_explanation(prov: Dict[str, object]) -> str:
+    """Terminal rendering of one decision's provenance chain."""
+    lines: List[str] = []
+    verdict = "EVENT" if prov["occurred"] else "no event"
+    where = ""
+    if prov["location"] is not None:
+        where = (
+            f" at ({prov['location'][0]:.2f}, {prov['location'][1]:.2f})"
+        )
+    lines.append(
+        f"decision {prov['decision_id']} @ t={prov['time']:g}: "
+        f"{verdict}{where}"
+    )
+    lines.append(
+        f"  supporters: {prov['supporters']}  "
+        f"dissenters: {prov['dissenters']}"
+    )
+
+    window = prov.get("window")
+    if window is not None:
+        circles = window["circles"]
+        label = "binary window" if circles == [-1] else f"circles {circles}"
+        lines.append(
+            f"  window: closed @ t={window['time']:g} with "
+            f"{window['reports']} report(s) ({label})"
+        )
+        gate = window.get("filter")
+        if gate is not None:
+            lines.append(
+                f"    plausibility gate: kept {gate['kept']}, "
+                f"gated {gate['gated']}"
+            )
+
+    cluster = prov.get("cluster")
+    if cluster is not None:
+        lines.append(
+            f"  cluster: centre=({cluster['x']:.2f}, {cluster['y']:.2f}) "
+            f"members={cluster['members']} "
+            f"dissenters={cluster['dissenters']}"
+        )
+
+    evidence = prov.get("evidence") or []
+    if evidence:
+        lines.append("  evidence (event -> report -> radio -> window):")
+        for item in evidence:
+            origin = (
+                "quiet window" if item["quiet"]
+                else f"event {item['event_id']}"
+            )
+            hops = " -> ".join(
+                f"{name}#{item[key]}"
+                for name, key in (
+                    ("report", "report_span"),
+                    ("transmit", "transmit_span"),
+                    ("deliver", "deliver_span"),
+                    ("window", "window_report_span"),
+                )
+                if item[key] is not None
+            )
+            lines.append(
+                f"    node {item['node']}: {origin}, "
+                f"message {item['message_id']}: {hops}"
+            )
+    dropped = prov.get("dropped_reports") or []
+    for item in dropped:
+        lines.append(
+            f"    node {item['node']}: message {item['message_id']} "
+            f"DROPPED ({item['reason']})"
+        )
+
+    vote = prov.get("vote")
+    if vote is not None:
+        winner = "R" if vote["cti_r"] > vote["cti_nr"] else "NR"
+        if vote["tie"]:
+            winner = "tie"
+        lines.append(
+            f"  vote: CTI(R)={vote['cti_r']:.4f} vs "
+            f"CTI(NR)={vote['cti_nr']:.4f} -> {winner}"
+            + (" (advisory)" if not vote["applied"] else "")
+        )
+        lines.append(
+            "    R : "
+            + _format_ti_group(vote["reporters"], vote["ti_r"])
+        )
+        lines.append(
+            "    NR: "
+            + _format_ti_group(vote["non_reporters"], vote["ti_nr"])
+        )
+
+    trust = prov.get("trust") or {}
+    for key, label in (
+        ("rewarded", "rewarded"),
+        ("penalized", "penalized"),
+        ("gate_penalized", "gate-penalized"),
+    ):
+        transition = trust.get(key)
+        if transition:
+            lines.append(
+                f"  {label}: "
+                + _format_ti_group(transition["nodes"], transition["ti"])
+            )
+
+    for diagnosis in prov.get("diagnoses") or []:
+        lines.append(
+            f"  DIAGNOSED: node {diagnosis['node']} "
+            f"(TI={diagnosis['ti']:.4f})"
+        )
+    announcement = prov.get("announcement")
+    if announcement is not None:
+        lines.append(
+            f"  announcement: {announcement['transmits']} transmit(s), "
+            f"{announcement['dropped']} dropped"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs.export import read_jsonl
+    from repro.obs.provenance import ProvenanceIndex
+
+    spans_path = Path(args.run_dir) / "spans.jsonl"
+    if not spans_path.exists():
+        print(
+            f"no spans.jsonl in {args.run_dir} -- export one with "
+            "'tibfit-repro trace --spans --out DIR'",
+            file=sys.stderr,
+        )
+        return 2
+    index = ProvenanceIndex(read_jsonl(spans_path))
+
+    if args.node is not None:
+        hits = index.node_view(args.node)
+        if not hits:
+            print(f"node {args.node}: no spans name this node")
+            return 1
+        print(f"node {args.node}: {len(hits)} span(s)")
+        for record in hits:
+            detail = " ".join(
+                f"{key}={value}"
+                for key, value in sorted(record["args"].items())
+            )
+            print(
+                f"  t={record['time']:<8g} #{record['id']:<6} "
+                f"{record['category']:<16} {detail}"
+            )
+        return 0
+
+    if args.decision is not None:
+        try:
+            prov = index.decision_provenance(args.decision)
+        except KeyError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        print(_render_explanation(prov))
+        return 0
+
+    decision_ids = index.decision_ids()
+    if not decision_ids:
+        print("no decisions recorded in this run")
+        return 1
+    print(f"{len(decision_ids)} decision(s); use --decision ID for detail")
+    for decision_id in decision_ids:
+        span = index.span(index.decisions[decision_id])
+        args_ = span["args"]
+        verdict = "EVENT   " if args_["occurred"] else "no event"
+        print(
+            f"  {decision_id:>5} t={span['time']:<8g} {verdict} "
+            f"supporters={len(args_['supporters'])} "
+            f"dissenters={len(args_['dissenters'])}"
+        )
     return 0
 
 
@@ -562,6 +773,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "fig": _cmd_fig,
         "run": _cmd_run,
         "trace": _cmd_trace,
+        "explain": _cmd_explain,
         "rotate": _cmd_rotate,
         "analyze": _cmd_analyze,
         "chaos": _cmd_chaos,

@@ -176,8 +176,18 @@ class ClusterHead(NetworkNode):
     # ------------------------------------------------------------------
     def attach(self, sim, channel) -> None:  # noqa: D102 - see base class
         super().attach(sim, channel)
+        spans = sim.spans
         if isinstance(self.voter, CtiVoter):
             self.voter.metrics = sim.metrics
+            if spans.enabled:
+                self.voter.spans = spans
+        if spans.enabled:
+            # Rebind the collector down the decision stack (instance
+            # attributes overriding the NULL_SPANS class defaults).  A
+            # promoted standby CH re-runs attach and rebinds the same
+            # way; cloned shadow tables keep the class default and stay
+            # silent.
+            self.trust.spans = spans
         if self.config.mode == "location":
             # The engine warms the deployment's spatial index with
             # cell size r_s (see LocationDecisionEngine.__init__).  It
@@ -189,6 +199,8 @@ class ClusterHead(NetworkNode):
                 r_error=self.config.r_error,
                 voter=self.voter,
             )
+            if spans.enabled:
+                self._engine.spans = spans
             if resolve_decision_backend() == "array":
                 # Struct-of-arrays hot path: reports accumulate as
                 # buffer rows and windows close straight into the
@@ -200,6 +212,8 @@ class ClusterHead(NetworkNode):
                     r_error=self.config.r_error,
                     voter=self.voter,
                 )
+                if spans.enabled:
+                    self._kernel.spans = spans
                 self._tracker = CircleTracker(
                     sim,
                     r_error=self.config.r_error,
@@ -238,13 +252,31 @@ class ClusterHead(NetworkNode):
             self._on_location_report(message)
 
     def _on_binary_report(self, message: EventReportMessage) -> None:
+        spans = self.sim.spans
         if not self._binary_window_open:
             self._binary_window_open = True
             self._binary_window = []
+            if spans.enabled:
+                # Binary mode has no circle tracker; circle -1 marks
+                # the single whole-cluster window.  Emitted before the
+                # timer so T_out expiry inherits this context.
+                spans.current = spans.point(
+                    "window.open",
+                    parent=spans.current,
+                    circle=-1,
+                    expires_at=self.sim.now + self.config.t_out,
+                )
             self.sim.after(
                 self.config.t_out,
                 self._decide_binary,
                 label="binary-t_out",
+            )
+        if spans.enabled:
+            spans.point(
+                "window.report",
+                parent=spans.current,
+                circle=-1,
+                node=message.sender,
             )
         self._binary_window.append(message)
 
@@ -301,6 +333,16 @@ class ClusterHead(NetworkNode):
         neighbors = [m for m in self.members if m not in excluded
                      and m != self.node_id]
         non_reporters = [m for m in neighbors if m not in reporter_set]
+        spans = self.sim.spans
+        if spans.enabled:
+            # The T_out timer carries the window.open context; the close
+            # span groups the vote and verdict under the whole window.
+            spans.current = spans.point(
+                "window.close",
+                parent=spans.current,
+                circles=[-1],
+                reports=len(reports),
+            )
         vote = self.voter.decide(reporters, non_reporters)
         self._record_decision(vote.occurred, None, tuple(reporters),
                               tuple(non_reporters))
@@ -318,6 +360,7 @@ class ClusterHead(NetworkNode):
                 decision.location,
                 decision.supporters,
                 decision.dissenters,
+                span_id=decision.span_id,
             )
 
     def _decide_group_rows(self, rows) -> None:
@@ -334,6 +377,7 @@ class ClusterHead(NetworkNode):
                 decision.location,
                 decision.supporters,
                 decision.dissenters,
+                span_id=decision.span_id,
             )
 
     def _record_decision(
@@ -342,6 +386,7 @@ class ClusterHead(NetworkNode):
         location: Optional[Point],
         supporters: Tuple[int, ...],
         dissenters: Tuple[int, ...],
+        span_id: int = 0,
     ) -> None:
         record = DecisionRecord(
             decision_id=next(_decision_ids),
@@ -360,6 +405,22 @@ class ClusterHead(NetworkNode):
             supporters=len(supporters),
             dissenters=len(dissenters),
         )
+        spans = self.sim.spans
+        decision_ctx = 0
+        if spans.enabled:
+            # span_id carries the window.cluster span for location-mode
+            # decisions; binary decisions parent under the window.close
+            # span left on spans.current by _decide_binary.
+            decision_ctx = spans.point(
+                "ch.decision",
+                parent=span_id or spans.current,
+                decision_id=record.decision_id,
+                occurred=occurred,
+                x=location.x if location is not None else None,
+                y=location.y if location is not None else None,
+                supporters=list(supporters),
+                dissenters=list(dissenters),
+            )
         metrics = self.sim.metrics
         if metrics.enabled:
             metrics.counter(
@@ -373,6 +434,13 @@ class ClusterHead(NetworkNode):
                     node=entry.node_id,
                     ti=entry.ti_at_diagnosis,
                 )
+                if spans.enabled:
+                    spans.point(
+                        "ch.diagnosis",
+                        parent=decision_ctx,
+                        node=entry.node_id,
+                        ti=entry.ti_at_diagnosis,
+                    )
                 if metrics.enabled:
                     metrics.counter("ch.diagnosis").inc()
         if self.probe is not None:
@@ -380,6 +448,25 @@ class ClusterHead(NetworkNode):
             # at a diagnosis time already shows the sub-threshold TI.
             self.probe.sample(self.sim.now)
         if self.config.announce:
+            if spans.enabled:
+                saved = spans.current
+                # The announcement's radio.transmit spans parent under
+                # the decision they announce.
+                spans.current = decision_ctx
+                try:
+                    self.broadcast(
+                        ChDecisionAnnouncement(
+                            sender=self.node_id,
+                            decision_id=record.decision_id,
+                            occurred=occurred,
+                            location=location,
+                            reporters=supporters,
+                            non_reporters=dissenters,
+                        )
+                    )
+                finally:
+                    spans.current = saved
+                return
             self.broadcast(
                 ChDecisionAnnouncement(
                     sender=self.node_id,

@@ -75,9 +75,11 @@ class _CorruptClusterHead(ClusterHead):
     catch (they recompute from the same inputs and dissent).
     """
 
-    def _record_decision(self, occurred, location, supporters, dissenters):
+    def _record_decision(
+        self, occurred, location, supporters, dissenters, span_id=0
+    ):
         super()._record_decision(
-            not occurred, location, supporters, dissenters
+            not occurred, location, supporters, dissenters, span_id=span_id
         )
 
 

@@ -17,6 +17,7 @@ from typing import Dict, Iterable, NamedTuple, Tuple
 
 from repro.core.trust import TrustTable
 from repro.obs.registry import NULL_REGISTRY
+from repro.obs.spans import NULL_SPANS
 
 
 class BinaryVoteResult(NamedTuple):
@@ -70,6 +71,13 @@ class CtiVoter:
         study the other convention (cheaper false positives).
     """
 
+    #: Span collector (rebound by ``ClusterHead.attach``).  The voter is
+    #: the single funnel for every CTI vote -- scalar, memoised, and
+    #: reference table paths all pass through :meth:`decide` -- so the
+    #: ``trust.vote`` span lives here; the table-level transition spans
+    #: stay silent during the vote (``TrustTable._in_vote``).
+    spans = NULL_SPANS
+
     def __init__(
         self, trust: TrustTable, tie_breaks_to_occurred: bool = False
     ) -> None:
@@ -111,6 +119,16 @@ class CtiVoter:
             If the two groups overlap (a node cannot be both).
         """
         metrics = self.metrics
+        spans = self.spans
+        if spans.enabled:
+            # Pre-vote TIs must be read before cti_vote mutates the
+            # table.  Sorting here matches the sorted r/nr tuples the
+            # vote returns, so the ti lists align index-for-index.
+            reporters = tuple(sorted(reporters))
+            non_reporters = tuple(sorted(non_reporters))
+            ti = self.trust.ti
+            pre_r = [ti(n) for n in reporters]
+            pre_nr = [ti(n) for n in non_reporters]
         if metrics.enabled:
             start = perf_counter()
             occurred, r, nr, cti_r, cti_nr, tie, winners, losers = (
@@ -136,6 +154,36 @@ class CtiVoter:
                 )
             )
         self.votes_taken += 1
+        if spans.enabled:
+            vote_ctx = spans.point(
+                "trust.vote",
+                parent=spans.current,
+                occurred=occurred,
+                tie=tie,
+                cti_r=cti_r,
+                cti_nr=cti_nr,
+                reporters=list(r),
+                non_reporters=list(nr),
+                ti_r=pre_r,
+                ti_nr=pre_nr,
+                applied=apply_updates,
+            )
+            if apply_updates:
+                ti = self.trust.ti
+                if winners:
+                    spans.point(
+                        "trust.reward",
+                        parent=vote_ctx,
+                        nodes=list(winners),
+                        ti=[ti(n) for n in winners],
+                    )
+                if losers:
+                    spans.point(
+                        "trust.penalize",
+                        parent=vote_ctx,
+                        nodes=list(losers),
+                        ti=[ti(n) for n in losers],
+                    )
         return BinaryVoteResult(
             occurred, r, nr, cti_r, cti_nr, tie, winners, losers
         )

@@ -123,6 +123,7 @@ class CircleTracker:
                 "buffer is required with (and only with) on_group_rows"
             )
         self._sim = sim
+        self._spans = sim.spans
         self.r_error = r_error
         self.t_out = t_out
         self._on_group = on_group
@@ -159,6 +160,14 @@ class CircleTracker:
             if math.sqrt(dx * dx + dy * dy) <= r_error:
                 circle = self._circles[circle_id]
                 circle.reports.append(report)
+                spans = self._spans
+                if spans.enabled:
+                    spans.point(
+                        "window.report",
+                        parent=spans.current,
+                        circle=circle_id,
+                        node=report.node_id,
+                    )
                 return circle
         return self._open_circle(report)
 
@@ -175,6 +184,15 @@ class CircleTracker:
             dy = self._open_y[pos] - y
             if math.sqrt(dx * dx + dy * dy) <= r_error:
                 self._circles[circle_id].rows.append(row)
+                spans = self._spans
+                if spans.enabled:
+                    spans.point(
+                        "window.report",
+                        parent=spans.current,
+                        circle=circle_id,
+                        node=node_id,
+                        row=row,
+                    )
                 return
         circle = EventCircle(
             center=Point(x, y),
@@ -182,6 +200,15 @@ class CircleTracker:
         )
         circle.rows.append(row)
         self._register_circle(circle)
+        spans = self._spans
+        if spans.enabled:
+            spans.point(
+                "window.report",
+                parent=spans.current,
+                circle=circle.circle_id,
+                node=node_id,
+                row=row,
+            )
 
     def open_circles(self) -> List[EventCircle]:
         """Currently open circles (stable order by id)."""
@@ -209,6 +236,14 @@ class CircleTracker:
         )
         circle.reports.append(report)
         self._register_circle(circle)
+        spans = self._spans
+        if spans.enabled:
+            spans.point(
+                "window.report",
+                parent=spans.current,
+                circle=circle.circle_id,
+                node=report.node_id,
+            )
         return circle
 
     def _register_circle(self, circle: EventCircle) -> None:
@@ -218,6 +253,18 @@ class CircleTracker:
         self._open_x.append(circle.center.x)
         self._open_y.append(circle.center.y)
         self.circles_opened += 1
+        spans = self._spans
+        if spans.enabled:
+            # The expiry timer below inherits this context, so the
+            # window.close span lands under the first report's delivery.
+            spans.point(
+                "window.open",
+                parent=spans.current,
+                circle=circle.circle_id,
+                x=circle.center.x,
+                y=circle.center.y,
+                expires_at=circle.expires_at,
+            )
         self._sim.at(
             circle.expires_at,
             self._on_expiry,
@@ -287,6 +334,20 @@ class CircleTracker:
             circles=[c.circle_id for c in group],
             reports=len(merged),
         )
+        spans = self._spans
+        if spans.enabled:
+            saved = spans.current
+            spans.current = spans.point(
+                "window.close",
+                parent=saved,
+                circles=[c.circle_id for c in group],
+                reports=len(merged),
+            )
+            try:
+                self._on_group(merged)
+            finally:
+                spans.current = saved
+            return
         self._on_group(merged)
 
     def _close_group_rows(self, group: List[EventCircle]) -> None:
@@ -314,6 +375,20 @@ class CircleTracker:
         buffer = self._buffer
         idx = np.asarray(rows, dtype=np.intp)
         order = np.lexsort((buffer.ids[idx], buffer.times[idx]))
-        self._on_group_rows(idx[order])
+        spans = self._spans
+        if spans.enabled:
+            saved = spans.current
+            spans.current = spans.point(
+                "window.close",
+                parent=saved,
+                circles=[c.circle_id for c in group],
+                reports=len(rows),
+            )
+            try:
+                self._on_group_rows(idx[order])
+            finally:
+                spans.current = saved
+        else:
+            self._on_group_rows(idx[order])
         if not self._circles:
             buffer.reset()

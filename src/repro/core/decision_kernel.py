@@ -62,6 +62,7 @@ from repro.core.clustering import (
 )
 from repro.core.location import LocatedDecision
 from repro.network.topology import Deployment
+from repro.obs.spans import NULL_SPANS
 
 __all__ = [
     "DECISION_ENV",
@@ -191,6 +192,10 @@ class DecisionKernel:
     ``LocationReport`` objects.
     """
 
+    #: Span collector (rebound by ``ClusterHead.attach``); the class
+    #: default keeps standalone kernels span-free at zero cost.
+    spans = NULL_SPANS
+
     def __init__(
         self,
         deployment: Deployment,
@@ -294,6 +299,17 @@ class DecisionKernel:
                 np.sqrt(dx * dx + dy * dy) <= self._limit
             )
             liars = known & ~plausible
+            spans = self.spans
+            if spans.enabled:
+                # Emitted before the gate penalties so those trust
+                # transitions parent under the filter span.
+                spans.current = spans.point(
+                    "window.filter",
+                    parent=spans.current,
+                    window=int(len(rows)),
+                    kept=ids[plausible].tolist(),
+                    gated=ids[liars].tolist(),
+                )
             if liars.any() and self._has_trust:
                 self.voter.trust.penalize_many(ids[liars].tolist())
             if not plausible.all():
@@ -309,6 +325,18 @@ class DecisionKernel:
         clusters = cluster_reports_xy(xs, ys, self.r_error)
         min_size = self.min_cluster_fraction * ids.size
         decisions: List[LocatedDecision] = []
+        spans = self.spans
+        if spans.enabled:
+            # Each cluster parents under the window.filter span, not
+            # under its sibling cluster's vote machinery.
+            window_ctx = spans.current
+            for cluster in clusters:
+                if len(cluster) < min_size:
+                    continue
+                spans.current = window_ctx
+                decisions.append(self._vote_cluster(cluster, ids, excl))
+            spans.current = window_ctx
+            return decisions
         for cluster in clusters:
             if len(cluster) < min_size:
                 continue
@@ -364,6 +392,17 @@ class DecisionKernel:
                 f_ys.append(y)
             else:
                 liars.append(node_id)
+        spans = self.spans
+        if spans.enabled:
+            # Same filter-span structure as the vectorised route and
+            # the object oracle: emitted before the gate penalties.
+            spans.current = spans.point(
+                "window.filter",
+                parent=spans.current,
+                window=int(len(rows)),
+                kept=list(f_ids),
+                gated=list(liars),
+            )
         if liars and self._has_trust:
             self.voter.trust.penalize_many(liars)
         if not f_ids:
@@ -380,6 +419,17 @@ class DecisionKernel:
             )
         min_size = self.min_cluster_fraction * len(f_ids)
         decisions: List[LocatedDecision] = []
+        if spans.enabled:
+            window_ctx = spans.current
+            for cluster in clusters:
+                if len(cluster) < min_size:
+                    continue
+                spans.current = window_ctx
+                decisions.append(
+                    self._vote_cluster_small(cluster, f_ids, excluded)
+                )
+            spans.current = window_ctx
+            return decisions
         for cluster in clusters:
             if len(cluster) < min_size:
                 continue
@@ -412,6 +462,18 @@ class DecisionKernel:
         dissenters = tuple(
             [n for n in neighbors if n not in supporter_set]
         )
+        spans = self.spans
+        cluster_ctx = 0
+        if spans.enabled:
+            cluster_ctx = spans.point(
+                "window.cluster",
+                parent=spans.current,
+                x=center.x,
+                y=center.y,
+                members=list(supporters),
+                dissenters=list(dissenters),
+            )
+            spans.current = cluster_ctx
         if supporter_set.isdisjoint(neighbors):
             if self._has_trust:
                 self.voter.trust.penalize_many(supporters)
@@ -421,6 +483,7 @@ class DecisionKernel:
                 supporters=supporters,
                 dissenters=dissenters,
                 vote=None,
+                span_id=cluster_ctx,
             )
         vote = self.voter.decide(supporters, dissenters)
         return LocatedDecision(
@@ -429,6 +492,7 @@ class DecisionKernel:
             supporters=supporters,
             dissenters=dissenters,
             vote=vote,
+            span_id=cluster_ctx,
         )
 
     def _vote_cluster(
@@ -450,6 +514,18 @@ class DecisionKernel:
         dissenters: Tuple[int, ...] = tuple(
             neighbors[~in_sup].tolist()
         )
+        spans = self.spans
+        cluster_ctx = 0
+        if spans.enabled:
+            cluster_ctx = spans.point(
+                "window.cluster",
+                parent=spans.current,
+                x=center.x,
+                y=center.y,
+                members=list(supporters),
+                dissenters=list(dissenters),
+            )
+            spans.current = cluster_ctx
         if not in_sup.any():
             # No claimant could have sensed an event where the cluster
             # implies one: the cluster refutes itself (§2.1 caught
@@ -463,6 +539,7 @@ class DecisionKernel:
                 supporters=supporters,
                 dissenters=dissenters,
                 vote=None,
+                span_id=cluster_ctx,
             )
         vote = self.voter.decide(supporters, dissenters)
         return LocatedDecision(
@@ -471,4 +548,5 @@ class DecisionKernel:
             supporters=supporters,
             dissenters=dissenters,
             vote=vote,
+            span_id=cluster_ctx,
         )

@@ -13,7 +13,7 @@ neighbours and their members are penalised.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.baseline import MajorityVoter
@@ -21,6 +21,7 @@ from repro.core.binary import BinaryVoteResult, CtiVoter
 from repro.core.clustering import ReportCluster, cluster_reports
 from repro.network.geometry import Point
 from repro.network.topology import Deployment
+from repro.obs.spans import NULL_SPANS
 
 Voter = Union[CtiVoter, MajorityVoter]
 
@@ -68,6 +69,10 @@ class LocatedDecision:
     supporters: Tuple[int, ...]
     dissenters: Tuple[int, ...]
     vote: object
+    #: The ``window.cluster`` span this decision came from (0 when span
+    #: collection is disabled).  Excluded from equality: span ids are
+    #: bookkeeping, not part of the verdict.
+    span_id: int = field(default=0, compare=False)
 
     def localisation_error(self, true_location: Point) -> float:
         """Distance between the decided and the true event location."""
@@ -97,6 +102,10 @@ class LocationDecisionEngine:
         exists purely as an optional spam guard and defaults to 0
         (paper-faithful: every cluster is voted on).
     """
+
+    #: Span collector (rebound by ``ClusterHead.attach``); the class
+    #: default keeps standalone engines span-free at zero cost.
+    spans = NULL_SPANS
 
     def __init__(
         self,
@@ -148,7 +157,7 @@ class LocationDecisionEngine:
         """
         excluded = set(excluded_nodes)
         unique = self._dedupe(reports, excluded)
-        unique = self._drop_implausible(unique)
+        unique = self._drop_implausible(unique, window=len(reports))
         if not unique:
             return []
 
@@ -157,6 +166,20 @@ class LocationDecisionEngine:
         )
         min_size = self.min_cluster_fraction * len(unique)
         decisions = []
+        spans = self.spans
+        if spans.enabled:
+            # _drop_implausible left spans.current on the window.filter
+            # span; each cluster parents there, not under its sibling.
+            window_ctx = spans.current
+            for cluster in clusters:
+                if len(cluster) < min_size:
+                    continue
+                spans.current = window_ctx
+                decisions.append(
+                    self._vote_cluster(cluster, unique, excluded)
+                )
+            spans.current = window_ctx
+            return decisions
         for cluster in clusters:
             if len(cluster) < min_size:
                 continue
@@ -194,7 +217,7 @@ class LocationDecisionEngine:
         return unique
 
     def _drop_implausible(
-        self, reports: List[LocationReport]
+        self, reports: List[LocationReport], window: Optional[int] = None
     ) -> List[LocationReport]:
         """Reject reports claiming events the reporter could not sense.
 
@@ -217,6 +240,17 @@ class LocationDecisionEngine:
                 plausible.append(report)
             else:
                 liars.append(report.node_id)
+        spans = self.spans
+        if spans.enabled:
+            # Emitted before the gate penalties so those trust
+            # transitions parent under the filter span.
+            spans.current = spans.point(
+                "window.filter",
+                parent=spans.current,
+                window=window if window is not None else len(reports),
+                kept=[r.node_id for r in plausible],
+                gated=list(liars),
+            )
         if liars and hasattr(self.voter, "trust"):
             self.voter.trust.penalize_many(liars)
         return plausible
@@ -241,6 +275,18 @@ class LocationDecisionEngine:
         dissenters = tuple(
             node_id for node_id in neighbors if node_id not in supporter_set
         )
+        spans = self.spans
+        cluster_ctx = 0
+        if spans.enabled:
+            cluster_ctx = spans.point(
+                "window.cluster",
+                parent=spans.current,
+                x=cluster.center.x,
+                y=cluster.center.y,
+                members=list(supporters),
+                dissenters=list(dissenters),
+            )
+            spans.current = cluster_ctx
         if supporter_set.isdisjoint(neighbors):
             # None of the claimants could have sensed an event at the
             # location they collectively imply: the cluster refutes
@@ -254,6 +300,7 @@ class LocationDecisionEngine:
                 supporters=supporters,
                 dissenters=dissenters,
                 vote=None,
+                span_id=cluster_ctx,
             )
         vote = self.voter.decide(supporters, dissenters)
         return LocatedDecision(
@@ -262,4 +309,5 @@ class LocationDecisionEngine:
             supporters=supporters,
             dissenters=dissenters,
             vote=vote,
+            span_id=cluster_ctx,
         )

@@ -62,6 +62,8 @@ from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.spans import NULL_SPANS
+
 _exp = math.exp
 
 
@@ -281,6 +283,15 @@ class TrustTable:
     """
 
     _V_EPSILON = _V_EPSILON
+
+    #: Span collector (rebound by ``ClusterHead.attach``).  Class-level
+    #: default so clones -- shadow CH mirrors built via ``__new__`` --
+    #: fall back to the disabled collector and emit nothing.
+    spans = NULL_SPANS
+    #: True while ``cti_vote`` applies its transitions: the vote-level
+    #: spans are emitted by :class:`~repro.core.binary.CtiVoter`, so the
+    #: table-level transition spans stay silent to avoid doubles.
+    _in_vote = False
 
     def __init__(
         self,
@@ -663,8 +674,18 @@ class TrustTable:
             occurred = tie_breaks_to_occurred if tie else cti_r > cti_nr
             winners, losers = (r, nr) if occurred else (nr, r)
             if apply_updates:
-                self.reward_many(winners)
-                self.penalize_many(losers)
+                if self.spans.enabled:
+                    # Suppress the batch helpers' own transition spans:
+                    # the voter emits the vote-level ones.
+                    self._in_vote = True
+                    try:
+                        self.reward_many(winners)
+                        self.penalize_many(losers)
+                    finally:
+                        self._in_vote = False
+                else:
+                    self.reward_many(winners)
+                    self.penalize_many(losers)
             return occurred, r, nr, cti_r, cti_nr, tie, winners, losers
         r, nr, n_r = part.r, part.nr, part.n_r
 
@@ -789,7 +810,16 @@ class TrustTable:
             nxt = self._pen_step(code)
         self._vc_buf[slot] = nxt
         self._pending_faulty.append(slot)
-        return self._code_ti[nxt]
+        ti = self._code_ti[nxt]
+        spans = self.spans
+        if spans.enabled and not self._in_vote:
+            spans.point(
+                "trust.penalize",
+                parent=spans.current,
+                nodes=[node_id],
+                ti=[ti],
+            )
+        return ti
 
     def reward(self, node_id: int) -> float:
         """Credit one correct report: ``v = max(0, v - f_r)``.  Returns TI."""
@@ -802,7 +832,16 @@ class TrustTable:
             nxt = self._rew_step(code)
         self._vc_buf[slot] = nxt
         self._pending_correct.append(slot)
-        return self._code_ti[nxt]
+        ti = self._code_ti[nxt]
+        spans = self.spans
+        if spans.enabled and not self._in_vote:
+            spans.point(
+                "trust.reward",
+                parent=spans.current,
+                nodes=[node_id],
+                ti=[ti],
+            )
+        return ti
 
     def penalize_many(self, node_ids: Iterable[int]) -> None:
         """Charge one faulty report to each node (batch, no TI returned).
@@ -812,6 +851,10 @@ class TrustTable:
         dict keyed on the ints given at construction, and ``np.int64``
         keys would miss the memoised slots.
         """
+        spans = self.spans
+        spanned = spans.enabled and not self._in_vote
+        if spanned:
+            node_ids = list(node_ids)
         index_get = self._index.get
         pen_next = self._pen_next
         pending = self._pending_faulty
@@ -827,6 +870,13 @@ class TrustTable:
                 nxt = self._pen_step(code)
             vc[slot] = nxt
             pending.append(slot)
+        if spanned and node_ids:
+            spans.point(
+                "trust.penalize",
+                parent=spans.current,
+                nodes=list(node_ids),
+                ti=[self.ti(n) for n in node_ids],
+            )
 
     def reward_many(self, node_ids: Iterable[int]) -> None:
         """Credit one correct report to each node (batch, no TI returned).
@@ -834,6 +884,10 @@ class TrustTable:
         Applies the same floor-at-zero / ``_V_EPSILON`` snap as
         :meth:`reward` through the memoised reward transition.
         """
+        spans = self.spans
+        spanned = spans.enabled and not self._in_vote
+        if spanned:
+            node_ids = list(node_ids)
         index_get = self._index.get
         rew_next = self._rew_next
         pending = self._pending_correct
@@ -849,6 +903,13 @@ class TrustTable:
                 nxt = self._rew_step(code)
             vc[slot] = nxt
             pending.append(slot)
+        if spanned and node_ids:
+            spans.point(
+                "trust.reward",
+                parent=spans.current,
+                nodes=list(node_ids),
+                ti=[self.ti(n) for n in node_ids],
+            )
 
     def set_v(self, node_id: int, v: float) -> None:
         """Force a node's accumulator (used when restoring transfers)."""
@@ -953,6 +1014,10 @@ class TrustTableReference:
 
     _V_EPSILON = _V_EPSILON
 
+    #: Same span hooks as :class:`TrustTable` (see there).
+    spans = NULL_SPANS
+    _in_vote = False
+
     def __init__(
         self,
         params: TrustParameters,
@@ -1052,10 +1117,22 @@ class TrustTableReference:
         occurred = tie_breaks_to_occurred if tie else cti_r > cti_nr
         winners, losers = (r, nr) if occurred else (nr, r)
         if apply_updates:
-            for node_id in winners:
-                self.reward(node_id)
-            for node_id in losers:
-                self.penalize(node_id)
+            if self.spans.enabled:
+                # Vote-level spans come from the CtiVoter; suppress the
+                # per-node transition spans for the duration.
+                self._in_vote = True
+                try:
+                    for node_id in winners:
+                        self.reward(node_id)
+                    for node_id in losers:
+                        self.penalize(node_id)
+                finally:
+                    self._in_vote = False
+            else:
+                for node_id in winners:
+                    self.reward(node_id)
+                for node_id in losers:
+                    self.penalize(node_id)
         return occurred, r, nr, cti_r, cti_nr, tie, winners, losers
 
     # ------------------------------------------------------------------
@@ -1066,7 +1143,16 @@ class TrustTableReference:
         entry = self.entry(node_id)
         entry.v += self.params.penalty_step
         entry.faulty_reports += 1
-        return self.params.ti_of(entry.v)
+        ti = self.params.ti_of(entry.v)
+        spans = self.spans
+        if spans.enabled and not self._in_vote:
+            spans.point(
+                "trust.penalize",
+                parent=spans.current,
+                nodes=[node_id],
+                ti=[ti],
+            )
+        return ti
 
     def reward(self, node_id: int) -> float:
         """Credit one correct report: ``v = max(0, v - f_r)``.  Returns TI."""
@@ -1074,15 +1160,60 @@ class TrustTableReference:
         v = entry.v - self.params.reward_step
         entry.v = 0.0 if v < self._V_EPSILON else v
         entry.correct_reports += 1
-        return self.params.ti_of(entry.v)
+        ti = self.params.ti_of(entry.v)
+        spans = self.spans
+        if spans.enabled and not self._in_vote:
+            spans.point(
+                "trust.reward",
+                parent=spans.current,
+                nodes=[node_id],
+                ti=[ti],
+            )
+        return ti
 
     def penalize_many(self, node_ids: Iterable[int]) -> None:
         """Batch penalty: one :meth:`penalize` per node, TI discarded."""
+        spans = self.spans
+        if spans.enabled and not self._in_vote:
+            # One batched span mirroring TrustTable.penalize_many; the
+            # scalar calls' own spans are suppressed for the duration.
+            node_ids = list(node_ids)
+            self._in_vote = True
+            try:
+                for node_id in node_ids:
+                    self.penalize(node_id)
+            finally:
+                self._in_vote = False
+            if node_ids:
+                spans.point(
+                    "trust.penalize",
+                    parent=spans.current,
+                    nodes=list(node_ids),
+                    ti=[self.ti(n) for n in node_ids],
+                )
+            return
         for node_id in node_ids:
             self.penalize(node_id)
 
     def reward_many(self, node_ids: Iterable[int]) -> None:
         """Batch reward: one :meth:`reward` per node, TI discarded."""
+        spans = self.spans
+        if spans.enabled and not self._in_vote:
+            node_ids = list(node_ids)
+            self._in_vote = True
+            try:
+                for node_id in node_ids:
+                    self.reward(node_id)
+            finally:
+                self._in_vote = False
+            if node_ids:
+                spans.point(
+                    "trust.reward",
+                    parent=spans.current,
+                    nodes=list(node_ids),
+                    ti=[self.ti(n) for n in node_ids],
+                )
+            return
         for node_id in node_ids:
             self.reward(node_id)
 

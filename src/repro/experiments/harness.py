@@ -39,12 +39,15 @@ from repro.sensors.node import SensorNode
 from repro.sensors.sensing import SensingConfig, SensingModel
 from repro.obs.export import (
     build_manifest,
+    chrome_trace,
     trace_records,
     write_json,
     write_jsonl,
 )
+from repro.obs.provenance import ProvenanceIndex
 from repro.obs.probes import TrustProbe
 from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
+from repro.obs.spans import NULL_SPANS, SpanCollector
 from repro.simkernel.simulator import Simulator
 from repro.simkernel.trace import noop_trace
 from repro.experiments.metrics import RunMetrics, score_run
@@ -107,6 +110,16 @@ class SimulationRun:
     tracing:
         Disable to run with a no-op trace log; sweep runners do this so
         the per-event emit call sites cost only an attribute check.
+    spans:
+        Enable causal span collection (:mod:`repro.obs.spans`): every
+        sensed event, report, radio delivery/drop, collection window,
+        vote, trust transition, and CH verdict emits a span linked to
+        the span that caused it, and :meth:`export_artifacts` writes
+        ``spans.jsonl`` / ``provenance.jsonl`` / ``spans_chrome.json``.
+        Span collection reads state but never mutates it and never
+        touches an RNG, so a spanned run stays bit-identical to an
+        unspanned one (asserted by
+        ``tests/experiments/test_observability.py``).
     observe:
         Enable the observability layer: a live
         :class:`~repro.obs.registry.MetricsRegistry` shared by every
@@ -152,6 +165,7 @@ class SimulationRun:
         seed: int = 0,
         tracing: bool = True,
         observe: bool = False,
+        spans: bool = False,
         chaos_plan: Optional[FaultPlan] = None,
     ) -> None:
         if mode not in ("binary", "location"):
@@ -194,6 +208,7 @@ class SimulationRun:
         self.registry = (
             MetricsRegistry(enabled=True) if observe else NULL_REGISTRY
         )
+        self.spans = SpanCollector() if spans else NULL_SPANS
         self.probe: Optional[TrustProbe] = None
         self.timings: Dict[str, float] = {}
 
@@ -248,6 +263,7 @@ class SimulationRun:
             seed=self.seed,
             trace=None if self.tracing else noop_trace(),
             metrics=self.registry,
+            spans=self.spans if self.spans.enabled else None,
         )
         self.channel = RadioChannel(
             self.sim, ChannelConfig(loss_probability=self.channel_loss)
@@ -480,6 +496,7 @@ class SimulationRun:
         )
         self.events.extend(batch)
         nodes = self.nodes
+        spans = self.sim.spans
         for event in batch:
             # Only event neighbours can report (compose_report's detects
             # gate uses the same radius and the same correctly-rounded
@@ -492,6 +509,38 @@ class SimulationRun:
             neighbors = self.deployment.event_neighbors(
                 event.location, self.sensing_radius
             )
+            if spans.enabled:
+                # Root of the causal chain: the ground-truth event.
+                # Each composed report gets a span and binds its
+                # message id, so the radio transmit parents there.
+                event_ctx = spans.point(
+                    "event",
+                    event_id=event.event_id,
+                    x=event.location.x,
+                    y=event.location.y,
+                )
+                spans.current = event_ctx
+                pending = []
+                for node_id in neighbors:
+                    node = nodes.get(node_id)
+                    if node is None:
+                        continue
+                    message = node.compose_report(event)
+                    if message is None:
+                        continue
+                    spans.bind(
+                        message.message_id,
+                        spans.point(
+                            "report",
+                            parent=event_ctx,
+                            node=node.node_id,
+                            message_id=message.message_id,
+                        ),
+                    )
+                    pending.append((node, message))
+                self._dispatch_reports(pending)
+                spans.current = 0
+                continue
             self._dispatch_reports(
                 [
                     (node, message)
@@ -505,6 +554,34 @@ class SimulationRun:
         # quiet_inert behaviours (e.g. correct nodes with a zero false
         # alarm rate) neither draw from their stream nor report, so
         # skipping the call wholesale is bit-identical to making it.
+        spans = self.sim.spans
+        if spans.enabled:
+            # False alarms have no ground-truth event; they root under
+            # a quiet-window marker so the explain chain names them.
+            quiet_ctx = 0
+            pending = []
+            for node in self.nodes.values():
+                if node.behavior.quiet_inert:
+                    continue
+                message = node.compose_false_alarm()
+                if message is None:
+                    continue
+                if not quiet_ctx:
+                    quiet_ctx = spans.point("event", event_id=-1, quiet=True)
+                    spans.current = quiet_ctx
+                spans.bind(
+                    message.message_id,
+                    spans.point(
+                        "report",
+                        parent=quiet_ctx,
+                        node=node.node_id,
+                        message_id=message.message_id,
+                    ),
+                )
+                pending.append((node, message))
+            self._dispatch_reports(pending)
+            spans.current = 0
+            return
         self._dispatch_reports(
             [
                 (node, message)
@@ -650,8 +727,10 @@ class SimulationRun:
 
         Writes ``manifest.json``, ``metrics.jsonl``, ``trace.jsonl``
         and ``ti_series.jsonl`` (see :mod:`repro.obs.export` for the
-        schemas).  Only meaningful after :meth:`run`; requires the run
-        to have been created with ``observe=True``.
+        schemas); runs created with ``spans=True`` additionally write
+        ``spans.jsonl``, ``provenance.jsonl`` and ``spans_chrome.json``.
+        Only meaningful after :meth:`run`; requires the run to have
+        been created with ``observe=True``.
         """
         if not self.observe:
             raise RuntimeError(
@@ -661,20 +740,24 @@ class SimulationRun:
         assert self.sim is not None and self.ch is not None
         assert self.probe is not None
         out = Path(out_dir)
+        counts = {
+            "events": len(self.events),
+            "decisions": len(self.all_decisions()),
+            "events_fired": self.sim.events_fired,
+            "trace_records": len(self.sim.trace),
+            "probe_samples": self.probe.n_samples,
+        }
+        if self.spans.enabled:
+            counts["spans_emitted"] = self.spans.emitted
+            counts["spans_evicted"] = self.spans.evicted
         manifest = build_manifest(
             kind="simulation-run",
             config=self.config_dict(),
             seed=self.seed,
             timings=self.timings,
-            counts={
-                "events": len(self.events),
-                "decisions": len(self.all_decisions()),
-                "events_fired": self.sim.events_fired,
-                "trace_records": len(self.sim.trace),
-                "probe_samples": self.probe.n_samples,
-            },
+            counts=counts,
         )
-        return {
+        paths = {
             "manifest": write_json(out / "manifest.json", manifest),
             "metrics": write_jsonl(
                 out / "metrics.jsonl", self.registry.snapshot()
@@ -686,3 +769,14 @@ class SimulationRun:
                 out / "ti_series.jsonl", self.probe.to_records()
             ),
         }
+        if self.spans.enabled:
+            span_dump = list(self.spans.to_records())
+            paths["spans"] = write_jsonl(out / "spans.jsonl", span_dump)
+            index = ProvenanceIndex(span_dump)
+            paths["provenance"] = write_jsonl(
+                out / "provenance.jsonl", index.to_records()
+            )
+            paths["spans_chrome"] = write_json(
+                out / "spans_chrome.json", chrome_trace(span_dump)
+            )
+        return paths

@@ -151,6 +151,7 @@ class RadioChannel:
         self, sim: Simulator, config: Optional[ChannelConfig] = None
     ) -> None:
         self._sim = sim
+        self._spans = sim.spans
         self.config = config if config is not None else ChannelConfig()
         self._nodes: Dict[int, NetworkNode] = {}
         # Broadcast order memo: (node_id, node) in ascending id order.
@@ -294,10 +295,24 @@ class RadioChannel:
             else:
                 self._c_dropped.inc()
                 self._drop_counter(outcome.reason).inc()
+        spans = self._spans
         if outcome.delivered:
             self.delivered += 1
             delay = self._delay()
             label = _deliver_label(type(message))
+            if spans.enabled:
+                # The delivery events scheduled below inherit the
+                # transmit span as their causal context (the scheduler
+                # stamps spans.current onto each event's ctx slot).
+                saved = spans.current
+                spans.current = spans.point(
+                    "radio.transmit",
+                    parent=spans.bound(message.message_id) or saved,
+                    sender=sender.node_id,
+                    destination=destination,
+                    message=type(message).__name__,
+                    message_id=message.message_id,
+                )
             if verdict is None:
                 self._sim.after(delay, self._deliver, receiver, message,
                                 label=label)
@@ -305,8 +320,20 @@ class RadioChannel:
                 for extra in verdict.extra_delays:
                     self._sim.after(delay + extra, self._deliver, receiver,
                                     message, label=label)
+            if spans.enabled:
+                spans.current = saved
         else:
             self.dropped += 1
+            if spans.enabled:
+                spans.point(
+                    "radio.drop",
+                    parent=spans.bound(message.message_id) or spans.current,
+                    sender=sender.node_id,
+                    destination=destination,
+                    reason=outcome.reason,
+                    message=type(message).__name__,
+                    message_id=message.message_id,
+                )
             self._sim.trace.emit(
                 self._sim.now,
                 "radio.drop",
@@ -365,6 +392,7 @@ class RadioChannel:
         config = self.config
         if (
             self._interceptor is None
+            and not self._spans.enabled
             and config.jitter == 0
             and config.loss_probability == 0.0
             and config.range_limit is None
@@ -442,7 +470,15 @@ class RadioChannel:
         liveness are then checked once for the whole batch -- valid
         because no event can run between the entries of one batch.
         """
-        if self.config.jitter > 0 or len(entries) < _VECTOR_MIN:
+        if (
+            self.config.jitter > 0
+            or len(entries) < _VECTOR_MIN
+            or self._spans.enabled
+        ):
+            # Span collection routes every batch through the oracle
+            # loop: each message then carries its own radio.transmit
+            # span as the causal context of its own delivery event.
+            # Bit-identical by the batch-equivalence guarantee above.
             return [
                 self.unicast(sender, destination, message)
                 for sender, destination, message in entries
@@ -735,8 +771,19 @@ class RadioChannel:
     def _deliver(self, receiver: NetworkNode, message: Message) -> None:
         trace = self._sim.trace
         trace_on = trace.enabled or trace.count_when_disabled
+        spans = self._spans
         if not receiver.alive:
             # Receiver died between transmit and delivery.
+            if spans.enabled:
+                spans.point(
+                    "radio.drop",
+                    parent=spans.current,
+                    sender=message.sender,
+                    destination=receiver.node_id,
+                    reason="died-in-flight",
+                    message=type(message).__name__,
+                    message_id=message.message_id,
+                )
             if trace_on:
                 trace.emit(
                     self._sim.now,
@@ -747,6 +794,18 @@ class RadioChannel:
                     message=type(message).__name__,
                 )
             return
+        if spans.enabled:
+            # spans.current holds the transmit span (restored from the
+            # delivery event's ctx); everything the handler does next --
+            # window joins, decisions -- parents under this deliver span.
+            spans.current = spans.point(
+                "radio.deliver",
+                parent=spans.current,
+                sender=message.sender,
+                destination=receiver.node_id,
+                message=type(message).__name__,
+                message_id=message.message_id,
+            )
         if trace_on:
             trace.emit(
                 self._sim.now,

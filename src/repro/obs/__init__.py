@@ -11,13 +11,21 @@ the speed the flat-array engines bought:
     boundaries, with threshold-crossing queries.
 ``repro.obs.export``
     JSONL artifact writers, per-run manifests, and schema validators.
+``repro.obs.spans``
+    Causal point spans with parent links (:class:`SpanCollector`) and
+    the zero-overhead disabled collector (:data:`NULL_SPANS`).
+``repro.obs.provenance``
+    :class:`ProvenanceIndex` -- walks span lineage to reconstruct the
+    full evidence chain behind any CH verdict.
 ``repro.obs.profiling``
     ``TIBFIT_PROFILE`` sweep profiling: per-task wall time, DES / trust
     / clustering phase breakdown, :class:`SweepProfile` aggregation.
 
 Entry points: ``SimulationRun(observe=True)`` threads a live registry
 and probe through one run and ``export_artifacts()`` writes the JSONL
-bundle; ``tibfit-repro trace`` does both from the command line; and
+bundle (``spans=True`` adds spans / provenance / a Chrome trace);
+``tibfit-repro trace`` does both from the command line;
+``tibfit-repro explain`` renders one decision's causal chain; and
 ``python -m repro.obs.validate DIR`` checks an artifact directory
 against the schemas.  See ``docs/observability.md``.
 """
@@ -26,16 +34,22 @@ from repro.obs.export import (
     MANIFEST_SCHEMA_VERSION,
     SchemaError,
     build_manifest,
+    chrome_trace,
     read_jsonl,
+    span_records,
     trace_records,
     validate_artifacts,
     validate_manifest,
     validate_metrics_record,
+    validate_provenance_record,
+    validate_span_record,
     validate_ti_record,
     write_json,
     write_jsonl,
 )
 from repro.obs.probes import TrustProbe
+from repro.obs.provenance import ProvenanceIndex
+from repro.obs.spans import NULL_SPANS, Span, SpanCollector
 from repro.obs.profiling import (
     PROFILE_ENV,
     SweepProfile,
@@ -58,19 +72,27 @@ __all__ = [
     "MANIFEST_SCHEMA_VERSION",
     "MetricsRegistry",
     "NULL_REGISTRY",
+    "NULL_SPANS",
     "PROFILE_ENV",
+    "ProvenanceIndex",
     "SchemaError",
+    "Span",
+    "SpanCollector",
     "SweepProfile",
     "TaskProfile",
     "Timer",
     "TrustProbe",
     "build_manifest",
+    "chrome_trace",
     "profiling_requested",
     "read_jsonl",
+    "span_records",
     "trace_records",
     "validate_artifacts",
     "validate_manifest",
     "validate_metrics_record",
+    "validate_provenance_record",
+    "validate_span_record",
     "validate_ti_record",
     "write_json",
     "write_jsonl",

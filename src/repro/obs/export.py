@@ -7,6 +7,12 @@ An instrumented run writes four artifacts side by side::
     trace.jsonl       one TraceRecord per line (buffered records)
     ti_series.jsonl   TI samples + diagnosis crossings (TrustProbe)
 
+and a span-enabled run (``SimulationRun(spans=True)``) adds three more::
+
+    spans.jsonl         one causal span per line (repro.obs.spans)
+    provenance.jsonl    one decision evidence chain per line
+    spans_chrome.json   Chrome-trace / Perfetto view of the same spans
+
 Every artifact is plain JSON so a sweep point is diffable with nothing
 but a text tool, and the manifest carries everything needed to re-run
 it bit-identically.  Validation is hand-rolled (no third-party schema
@@ -29,11 +35,15 @@ __all__ = [
     "MANIFEST_SCHEMA_VERSION",
     "SchemaError",
     "build_manifest",
+    "chrome_trace",
     "read_jsonl",
+    "span_records",
     "trace_records",
     "validate_artifacts",
     "validate_manifest",
     "validate_metrics_record",
+    "validate_provenance_record",
+    "validate_span_record",
     "validate_ti_record",
     "write_json",
     "write_jsonl",
@@ -134,9 +144,11 @@ def validate_metrics_record(record: object) -> None:
     else:
         count = _require(record, f"metrics record {name!r}", "count", int)
         _require(record, f"metrics record {name!r}", "sum", (int, float))
-        _require(record, f"metrics record {name!r}", "mean", (int, float))
         if count:
-            for key in ("min", "max", "p50", "p90", "p99"):
+            # mean (like min/max and the quantiles) exists only for
+            # populated histograms -- an empty one has no mean, and NaN
+            # is not strict JSON.
+            for key in ("mean", "min", "max", "p50", "p90", "p99"):
                 _require(
                     record, f"metrics record {name!r}", key, (int, float)
                 )
@@ -169,6 +181,129 @@ def validate_ti_record(record: object) -> None:
     else:
         _require(record, "ti diagnosis record", "node", int)
         _require(record, "ti diagnosis record", "ti", (int, float))
+
+
+# ----------------------------------------------------------------------
+# Span / provenance records
+# ----------------------------------------------------------------------
+def span_records(spans) -> Iterator[Dict[str, object]]:
+    """JSONL records for a :class:`~repro.obs.spans.SpanCollector`."""
+    return spans.to_records()
+
+
+def validate_span_record(record: object) -> None:
+    """Raise :class:`SchemaError` unless ``record`` is one span line."""
+    if not isinstance(record, dict):
+        raise SchemaError("span record must be a JSON object")
+    span_id = _require(record, "span record", "id", int)
+    if span_id <= 0:
+        raise SchemaError(f"span record id must be positive, got {span_id}")
+    parent = _require(record, f"span record {span_id}", "parent", int)
+    if parent < 0:
+        raise SchemaError(
+            f"span record {span_id}: parent must be >= 0, got {parent}"
+        )
+    if parent >= span_id:
+        # Parents are always emitted before their children, so ids
+        # strictly increase down any causal chain.
+        raise SchemaError(
+            f"span record {span_id}: parent {parent} is not older"
+        )
+    category = _require(record, f"span record {span_id}", "category", str)
+    if not category:
+        raise SchemaError(f"span record {span_id}: empty category")
+    _require(record, f"span record {span_id}", "time", (int, float))
+    _require(record, f"span record {span_id}", "args", dict)
+
+
+def validate_provenance_record(record: object) -> None:
+    """Raise :class:`SchemaError` unless ``record`` is one decision chain."""
+    if not isinstance(record, dict):
+        raise SchemaError("provenance record must be a JSON object")
+    kind = _require(record, "provenance record", "type", str)
+    if kind != "decision":
+        raise SchemaError(
+            f"provenance record type {kind!r} != 'decision'"
+        )
+    decision_id = _require(
+        record, "provenance record", "decision_id", int
+    )
+    where = f"provenance record {decision_id}"
+    _require(record, where, "span", int)
+    _require(record, where, "time", (int, float))
+    _require(record, where, "occurred", bool)
+    _require(record, where, "supporters", list)
+    _require(record, where, "dissenters", list)
+    _require(record, where, "evidence", list)
+    for item in record["evidence"]:
+        if not isinstance(item, dict):
+            raise SchemaError(f"{where}: evidence items must be objects")
+        _require(item, f"{where} evidence", "window_report_span", int)
+    _require(record, where, "dropped_reports", list)
+    _require(record, where, "trust", dict)
+    _require(record, where, "diagnoses", list)
+    vote = record.get("vote")
+    if vote is not None:
+        if not isinstance(vote, dict):
+            raise SchemaError(f"{where}: vote must be an object or null")
+        for key in ("cti_r", "cti_nr"):
+            _require(vote, f"{where} vote", key, (int, float))
+        for key in ("reporters", "non_reporters", "ti_r", "ti_nr"):
+            _require(vote, f"{where} vote", key, list)
+
+
+def chrome_trace(spans) -> Dict[str, object]:
+    """A Chrome-trace / Perfetto document for one run's spans.
+
+    Every span becomes an instant event ("i") on a thread named after
+    its top-level category; ``window.open`` / ``window.close`` pairs
+    additionally become duration events ("X") so collection windows
+    show as bars.  Times scale to microseconds (1 sim-time unit = 1s).
+    """
+    events = []
+    opens: Dict[object, Dict[str, object]] = {}
+    for record in spans if isinstance(spans, list) else spans.to_records():
+        category = record["category"]
+        top = category.split(".", 1)[0]
+        ts = record["time"] * 1e6
+        events.append(
+            {
+                "name": category,
+                "ph": "i",
+                "s": "t",
+                "ts": ts,
+                "pid": 1,
+                "tid": top,
+                "args": {
+                    "id": record["id"],
+                    "parent": record["parent"],
+                    **record["args"],
+                },
+            }
+        )
+        if category == "window.open":
+            opens[record["args"].get("circle")] = record
+        elif category == "window.close":
+            for circle in record["args"].get("circles", ()):
+                open_record = opens.pop(circle, None)
+                if open_record is None:
+                    continue
+                start = open_record["time"] * 1e6
+                events.append(
+                    {
+                        "name": f"window[{circle}]",
+                        "ph": "X",
+                        "ts": start,
+                        "dur": ts - start,
+                        "pid": 1,
+                        "tid": "window",
+                        "args": {
+                            "open": open_record["id"],
+                            "close": record["id"],
+                        },
+                    }
+                )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
 # ----------------------------------------------------------------------
@@ -275,6 +410,31 @@ def validate_artifacts(directory) -> Dict[str, int]:
             if not isinstance(record.get("time"), (int, float)):
                 raise SchemaError("trace record missing numeric 'time'")
         counts["trace.jsonl"] = len(trace)
+
+    spans_path = directory / "spans.jsonl"
+    if spans_path.exists():
+        spans = read_jsonl(spans_path)
+        for record in spans:
+            validate_span_record(record)
+        counts["spans.jsonl"] = len(spans)
+
+    provenance_path = directory / "provenance.jsonl"
+    if provenance_path.exists():
+        provenance = read_jsonl(provenance_path)
+        for record in provenance:
+            validate_provenance_record(record)
+        counts["provenance.jsonl"] = len(provenance)
+
+    chrome_path = directory / "spans_chrome.json"
+    if chrome_path.exists():
+        doc = json.loads(chrome_path.read_text())
+        if not isinstance(doc, dict) or not isinstance(
+            doc.get("traceEvents"), list
+        ):
+            raise SchemaError(
+                "spans_chrome.json must hold a 'traceEvents' list"
+            )
+        counts["spans_chrome.json"] = len(doc["traceEvents"])
     return counts
 
 

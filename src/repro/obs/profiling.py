@@ -3,7 +3,8 @@
 Set ``TIBFIT_PROFILE=1`` and every :func:`repro.experiments.runner.run_sweep`
 task is wrapped in a wall-clock timer plus a **phase breakdown** --
 how much of the task sat inside the DES loop, the trust engine's vote
-path, and the report-clustering heuristic.  The breakdown feeds a
+path, the report-clustering heuristic, and the CH decision pipeline
+(either backend).  The breakdown feeds a
 :class:`SweepProfile`, which aggregates per-point wall time, worker
 utilisation and a slowest-point report, and can serialise itself as a
 sweep-level manifest next to the per-run artifacts.
@@ -11,9 +12,12 @@ sweep-level manifest next to the per-run artifacts.
 Zero overhead when off
 ----------------------
 Phase timing works by *rebinding* the hot callables
-(``Simulator.run``, ``TrustTable.cti_vote``, and the clustering entry
+(``Simulator.run``, ``TrustTable.cti_vote``, the clustering entry
 points -- both the ``Point``-list ``cluster_reports`` and the array
-kernel's ``cluster_reports_xy``) to timing wrappers when
+kernel's ``cluster_reports_xy`` -- and the window decision entry
+points ``DecisionKernel.decide_rows`` / ``LocationDecisionEngine.decide``,
+so the ``decision`` phase covers whichever ``TIBFIT_DECISION`` backend
+a run selects) to timing wrappers when
 :func:`install_phase_timers` runs, and
 restoring the originals on :func:`uninstall_phase_timers`.  Nothing is
 touched when profiling is off, so the unprofiled hot paths carry no
@@ -22,10 +26,12 @@ arguments and results untouched, which is why a profiled sweep is
 bit-identical to an unprofiled one (asserted by
 ``tests/experiments/test_runner.py``).
 
-``trust`` and ``clustering`` time is spent *inside* DES callbacks, so
-those phases are subsets of ``des``; the remainder (radio, sensing,
-scoring, Python overhead) is reported as the gap between task wall time
-and the named phases.
+``trust``, ``clustering`` and ``decision`` time is spent *inside* DES
+callbacks, so those phases are subsets of ``des`` (and ``trust`` /
+``clustering`` are in turn mostly subsets of ``decision``, which wraps
+the whole window pipeline); the remainder (radio, sensing, scoring,
+Python overhead) is reported as the gap between task wall time and the
+named phases.
 """
 
 from __future__ import annotations
@@ -48,7 +54,7 @@ __all__ = [
 
 PROFILE_ENV = "TIBFIT_PROFILE"
 
-_PHASES = ("des", "trust", "clustering")
+_PHASES = ("des", "trust", "clustering", "decision")
 
 _phase_totals: Dict[str, float] = {name: 0.0 for name in _PHASES}
 _installed = False
@@ -109,6 +115,8 @@ def install_phase_timers() -> None:
     from repro.core import clustering as _clustering
     from repro.core import decision_kernel as _kernel
     from repro.core import location as _location
+    from repro.core.decision_kernel import DecisionKernel
+    from repro.core.location import LocationDecisionEngine
     from repro.core.trust import TrustTable
     from repro.simkernel.simulator import Simulator
 
@@ -118,6 +126,8 @@ def install_phase_timers() -> None:
     _originals["location_cluster_reports"] = _location.cluster_reports
     _originals["cluster_reports_xy"] = _clustering.cluster_reports_xy
     _originals["kernel_cluster_reports_xy"] = _kernel.cluster_reports_xy
+    _originals["kernel_decide_rows"] = DecisionKernel.decide_rows
+    _originals["engine_decide"] = LocationDecisionEngine.decide
 
     Simulator.run = _timed("des", Simulator.run)  # type: ignore[assignment]
     TrustTable.cti_vote = _timed(  # type: ignore[assignment]
@@ -131,6 +141,18 @@ def install_phase_timers() -> None:
     )
     _clustering.cluster_reports_xy = timed_clustering_xy
     _kernel.cluster_reports_xy = timed_clustering_xy
+    # Both window-pipeline entry points share one phase so "decision"
+    # reads the same no matter which TIBFIT_DECISION backend runs.  The
+    # array kernel's small-window route bypasses cluster_reports_xy
+    # entirely (flat scalar clustering), so without this rebind the
+    # array backend would profile as near-zero clustering and nothing
+    # else -- the gap this phase closes.
+    DecisionKernel.decide_rows = _timed(  # type: ignore[assignment]
+        "decision", DecisionKernel.decide_rows
+    )
+    LocationDecisionEngine.decide = _timed(  # type: ignore[assignment]
+        "decision", LocationDecisionEngine.decide
+    )
     _installed = True
 
 
@@ -142,6 +164,8 @@ def uninstall_phase_timers() -> None:
     from repro.core import clustering as _clustering
     from repro.core import decision_kernel as _kernel
     from repro.core import location as _location
+    from repro.core.decision_kernel import DecisionKernel
+    from repro.core.location import LocationDecisionEngine
     from repro.core.trust import TrustTable
     from repro.simkernel.simulator import Simulator
 
@@ -153,6 +177,12 @@ def uninstall_phase_timers() -> None:
     _location.cluster_reports = _originals.pop("location_cluster_reports")
     _clustering.cluster_reports_xy = _originals.pop("cluster_reports_xy")
     _kernel.cluster_reports_xy = _originals.pop("kernel_cluster_reports_xy")
+    DecisionKernel.decide_rows = _originals.pop(  # type: ignore[assignment]
+        "kernel_decide_rows"
+    )
+    LocationDecisionEngine.decide = _originals.pop(  # type: ignore[assignment]
+        "engine_decide"
+    )
     _installed = False
 
 

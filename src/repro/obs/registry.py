@@ -42,6 +42,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NULL_REGISTRY",
+    "TRUNCATED_COUNTER",
     "Timer",
 ]
 
@@ -49,6 +50,13 @@ __all__ = [
 #: Histograms retain at most this many raw observations for quantile
 #: estimation; count/sum/min/max stay exact past the cap.
 _RESERVOIR_MAX = 8192
+
+#: Counter name under which :meth:`MetricsRegistry.snapshot` reports
+#: how many histogram/timer reservoirs overflowed -- quantiles in those
+#: snapshots cover only the first :data:`_RESERVOIR_MAX` samples, and a
+#: metrics reader should not have to scan every record for the
+#: ``truncated`` flag to notice.
+TRUNCATED_COUNTER = "obs.reservoir.truncated"
 
 
 class Counter:
@@ -123,8 +131,15 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        """Mean over every observation (0.0 when empty)."""
-        return self.sum / self.count if self.count else 0.0
+        """Mean over every observation; ``nan`` when empty.
+
+        A mean of nothing is undefined, and a silent 0.0 reads as a
+        real measurement in downstream comparisons -- NaN propagates
+        through arithmetic and fails every ordering check, so misuse
+        surfaces instead of skewing a report.  ``snapshot()`` omits the
+        field entirely for empty histograms (NaN is not strict JSON).
+        """
+        return self.sum / self.count if self.count else math.nan
 
     @property
     def truncated(self) -> bool:
@@ -132,11 +147,17 @@ class Histogram:
         return self.count > len(self._samples)
 
     def quantile(self, q: float) -> float:
-        """Nearest-rank quantile from the retained samples."""
+        """Nearest-rank quantile from the retained samples.
+
+        Raises ``ValueError`` when the histogram is empty: there is no
+        sample to rank, and any sentinel would masquerade as data.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if not self._samples:
-            return 0.0
+            raise ValueError(
+                f"quantile of empty {self.kind} {self.name!r}"
+            )
         ordered = sorted(self._samples)
         rank = min(len(ordered) - 1, int(math.ceil(q * len(ordered))) - 1)
         return ordered[max(0, rank)]
@@ -147,9 +168,9 @@ class Histogram:
             "type": self.kind,
             "count": self.count,
             "sum": self.sum,
-            "mean": self.mean,
         }
         if self.count:
+            out["mean"] = self.mean
             out["min"] = self.min
             out["max"] = self.max
             out["p50"] = self.quantile(0.5)
@@ -288,12 +309,28 @@ class MetricsRegistry:
         """The instrument named ``name``, or None."""
         return self._instruments.get(name)
 
+    def truncated_names(self) -> List[str]:
+        """Names of histograms/timers whose quantile reservoir overflowed."""
+        return [
+            name
+            for name in self.names()
+            if getattr(self._instruments[name], "truncated", False)
+        ]
+
     def snapshot(self) -> List[Dict[str, object]]:
         """One serialisable record per instrument, sorted by name.
 
         These records are the ``metrics.jsonl`` lines; see
-        :mod:`repro.obs.export` for the schema.
+        :mod:`repro.obs.export` for the schema.  When any reservoir has
+        overflowed, the :data:`TRUNCATED_COUNTER` counter is set to the
+        overflow count first, so truncation shows up as a first-class
+        record rather than only as per-histogram flags.
         """
+        truncated = self.truncated_names()
+        if truncated:
+            # Assignment, not inc(): the overflow count is recomputed
+            # from scratch each snapshot and only ever grows.
+            self.counter(TRUNCATED_COUNTER).value = len(truncated)
         return [
             self._instruments[name].snapshot() for name in self.names()
         ]

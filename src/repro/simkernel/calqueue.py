@@ -144,6 +144,7 @@ class ArenaEvent:
         "kwargs",
         "cancelled",
         "label",
+        "ctx",
         "slot",
         "generation",
         "_queue",
@@ -159,6 +160,11 @@ class ArenaEvent:
         self.kwargs = None
         self.cancelled = False
         self.label = ""
+        # Causal-context token (see repro.obs.spans); 0 = no context.
+        # Stamped by the simulator front-ends / the after() closure;
+        # preserved across rearm() so periodic timers keep the context
+        # they were originally scheduled under.
+        self.ctx = 0
         self.slot = slot
         self.generation = 0
         self._queue = queue
@@ -343,6 +349,7 @@ class CalendarQueue:
                 event.kwargs = kwargs
                 event.cancelled = False
                 event.label = label
+                event.ctx = 0
                 event._popped = False
                 return event
             # Held externally: orphan the old tenant (its _popped flag
@@ -775,6 +782,10 @@ class CalendarQueue:
         slot_obj = self._slot_obj
         free = self._free
         getrefcount = sys.getrefcount
+        # Captured at build time: sim.spans is assigned before the queue
+        # backend is wired up.  NULL_SPANS keeps ``current`` pinned at 0,
+        # so the unconditional stamp below writes 0 on disabled runs.
+        spans = sim.spans
         bias = _PRIORITY_BIAS
         is_callable = callable
         scheduling_error = SchedulingError
@@ -847,6 +858,9 @@ class CalendarQueue:
                     kwargs if kwargs else None,
                     label,
                 )
+            # Causal-context stamp: spans.current is 0 whenever span
+            # collection is disabled, so this is a plain reset then.
+            event.ctx = spans.current
             if queue._burst:
                 # Mid-drain: delegate so a same-time arrival joins the
                 # sorted burst (or an earlier one flushes it back).
@@ -911,6 +925,8 @@ class CalendarQueue:
             event.kwargs = None
 
     def _run_core(self, sim, until: Optional[float], free: list) -> None:
+        spans = sim.spans
+        spans_on = spans.enabled
         while self._live:
             burst = self._burst
             if burst:
@@ -996,6 +1012,10 @@ class CalendarQueue:
             self._pending_free = event.slot
             sim._now = t
             sim._events_fired += 1
+            if spans_on:
+                # Restore the causal-context token stamped at
+                # scheduling time (see repro.obs.spans).
+                spans.current = event.ctx
             callback = event.callback
             args = event.args
             kwargs = event.kwargs

@@ -50,6 +50,7 @@ class ScheduledEvent:
         "kwargs",
         "cancelled",
         "label",
+        "ctx",
         "_queue",
         "_popped",
     )
@@ -73,6 +74,11 @@ class ScheduledEvent:
         self.kwargs = kwargs
         self.cancelled = False
         self.label = label
+        # Causal-context token: the span id in flight when the event was
+        # scheduled (see repro.obs.spans).  Stamped by the simulator's
+        # scheduling front-ends only when span collection is enabled;
+        # 0 means "no context".
+        self.ctx = 0
         self._queue = queue
         self._popped = False
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.obs.spans import NULL_SPANS
 from repro.simkernel.calqueue import CalendarQueue, resolve_queue_backend
 from repro.simkernel.errors import SchedulingError, SimulationFinished
 from repro.simkernel.events import EventQueue, ScheduledEvent
@@ -34,6 +35,13 @@ class Simulator:
         uninstrumented runs pay nothing; the event loop itself is never
         instrumented per event -- ``events_fired`` / queue depth are
         sampled at run boundaries instead.
+    spans:
+        Optional :class:`~repro.obs.spans.SpanCollector` for causal
+        provenance.  Defaults to the disabled ``NULL_SPANS``.  When
+        enabled, both scheduler backends stamp the collector's
+        causal-context token onto every scheduled event and restore it
+        before the callback fires, so cross-queue causality survives
+        the trip through the scheduler.
     queue:
         Scheduler backend: ``"calendar"`` (the default; see
         :class:`~repro.simkernel.calqueue.CalendarQueue`) or ``"heap"``
@@ -60,8 +68,14 @@ class Simulator:
         trace: Optional[TraceLog] = None,
         metrics: Optional[MetricsRegistry] = None,
         queue: Optional[str] = None,
+        spans=None,
     ) -> None:
         self._now = 0.0
+        # Spans must be assigned before the queue backend: the calendar
+        # backend's after() closure captures the collector at build time.
+        self.spans = spans if spans is not None else NULL_SPANS
+        if self.spans.enabled:
+            self.spans.attach_clock(lambda: self._now)
         self.queue_backend = resolve_queue_backend(queue)
         if self.queue_backend == "heap":
             self._queue = EventQueue()
@@ -119,9 +133,13 @@ class Simulator:
             raise SchedulingError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        return self._queue.schedule(
+        event = self._queue.schedule(
             time, priority, callback, args, kwargs if kwargs else None, label
         )
+        spans = self.spans
+        if spans.enabled:
+            event.ctx = spans.current
+        return event
 
     def after(
         self,
@@ -140,7 +158,7 @@ class Simulator:
         """
         if delay < 0:
             raise SchedulingError(f"delay must be non-negative, got {delay}")
-        return self._queue.schedule(
+        event = self._queue.schedule(
             self._now + delay,
             priority,
             callback,
@@ -148,6 +166,10 @@ class Simulator:
             kwargs if kwargs else None,
             label,
         )
+        spans = self.spans
+        if spans.enabled:
+            event.ctx = spans.current
+        return event
 
     def every(
         self,
@@ -200,12 +222,18 @@ class Simulator:
                 run_loop(self, until)
             else:
                 pop_next = self._queue.pop_next
+                spans = self.spans
+                spans_on = spans.enabled
                 while True:
                     event = pop_next(until)
                     if event is None:
                         break
                     self._now = event.time
                     self._events_fired += 1
+                    if spans_on:
+                        # Restore the causal-context token stamped at
+                        # scheduling time (see repro.obs.spans).
+                        spans.current = event.ctx
                     try:
                         event.fire()
                     except SimulationFinished:
@@ -225,6 +253,9 @@ class Simulator:
         event = self._queue.pop()
         self._now = event.time
         self._events_fired += 1
+        spans = self.spans
+        if spans.enabled:
+            spans.current = event.ctx
         try:
             event.fire()
         except SimulationFinished:

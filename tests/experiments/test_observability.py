@@ -7,20 +7,28 @@ The load-bearing guarantees:
 * the exported JSONL artifacts reconstruct the run's trust state
   exactly: final TIs match the live :class:`TrustTable` bit for bit,
   and each diagnosed node's threshold-crossing time in the TI series
-  equals its diagnosis time.
+  equals its diagnosis time;
+* span collection (``spans=True``) is equally read-only: the
+  ``run_fingerprint`` of a span-collecting run equals the plain run's
+  under both scheduler backends and both decision backends, and the
+  exported span artifacts reconstruct every verdict's causal chain.
 """
 
 import json
 
 import pytest
 
+from repro.chaos.invariants import run_fingerprint
+from repro.core.decision_kernel import DECISION_ENV
 from repro.experiments.harness import CorrectSpec, FaultSpec, SimulationRun
 from repro.obs.export import read_jsonl, validate_artifacts
+from repro.obs.provenance import ProvenanceIndex
+from repro.simkernel.calqueue import QUEUE_ENV
 
 DIAGNOSIS_THRESHOLD = 0.5
 
 
-def make_run(observe, seed=7):
+def make_run(observe, seed=7, spans=False):
     """An Experiment-1-style binary run with aggressive faulty nodes."""
     return SimulationRun(
         mode="binary",
@@ -35,6 +43,7 @@ def make_run(observe, seed=7):
         diagnosis_threshold=DIAGNOSIS_THRESHOLD,
         seed=seed,
         observe=observe,
+        spans=spans,
     )
 
 
@@ -157,3 +166,120 @@ class TestExportGuards:
         assert run.probe is None
         assert not run.registry.enabled
         assert run.ch.probe is None
+
+
+# ----------------------------------------------------------------------
+# Span collection
+# ----------------------------------------------------------------------
+def make_location_run(spans, seed=77, observe=False):
+    return SimulationRun(
+        mode="location",
+        n_nodes=25,
+        field_side=50.0,
+        sensing_radius=20.0,
+        faulty_ids=(0, 1, 2),
+        diagnosis_threshold=0.3,
+        seed=seed,
+        observe=observe,
+        spans=spans,
+    )
+
+
+class TestSpanBitIdentity:
+    """Acceptance: spans-enabled runs are bit-identical to plain runs
+    under both scheduler backends AND both decision backends."""
+
+    @pytest.mark.parametrize("queue_backend", ["heap", "calendar"])
+    @pytest.mark.parametrize("decision_backend", ["array", "object"])
+    def test_location_fingerprint_unchanged(
+        self, monkeypatch, queue_backend, decision_backend
+    ):
+        monkeypatch.setenv(QUEUE_ENV, queue_backend)
+        monkeypatch.setenv(DECISION_ENV, decision_backend)
+        plain = make_location_run(spans=False)
+        plain.run(8)
+        spanned = make_location_run(spans=True)
+        spanned.run(8)
+        assert run_fingerprint(spanned) == run_fingerprint(plain)
+        assert spanned.spans.emitted > 0
+
+    def test_binary_fingerprint_unchanged(self):
+        plain = make_run(observe=False)
+        plain.run(20)
+        spanned = make_run(observe=False, spans=True)
+        spanned.run(20)
+        assert run_fingerprint(spanned) == run_fingerprint(plain)
+        assert spanned.spans.emitted > 0
+
+
+class TestSpanArtifacts:
+    @pytest.fixture(scope="class")
+    def span_run(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("span_artifacts")
+        run = make_location_run(spans=True, observe=True)
+        run.run(10)
+        run.export_artifacts(out)
+        return run, out
+
+    def test_span_artifacts_validate(self, span_run):
+        _, out = span_run
+        counts = validate_artifacts(out)
+        assert counts["spans.jsonl"] > 0
+        assert counts["provenance.jsonl"] > 0
+        assert counts["spans_chrome.json"] > 0
+
+    def test_manifest_counts_spans(self, span_run):
+        run, out = span_run
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert manifest["counts"]["spans_emitted"] == run.spans.emitted
+        assert manifest["counts"]["spans_evicted"] == run.spans.evicted
+
+    def test_provenance_reconstructs_every_decision(self, span_run):
+        run, out = span_run
+        prov = ProvenanceIndex(read_jsonl(out / "spans.jsonl"))
+        assert len(prov.decision_ids()) == len(run.ch.decisions)
+        for decision_id in prov.decision_ids():
+            record = prov.decision_provenance(decision_id)
+            # Every verdict explains itself: a window, a vote (or a
+            # self-refuting cluster), and per-report evidence chains
+            # that reach back to a sensed event.
+            assert record["window"] is not None
+            assert record["evidence"], "no evidence hops reconstructed"
+            for item in record["evidence"]:
+                assert item["event_id"] is not None
+        diagnosed = {
+            d["node"]
+            for r in prov.to_records()
+            for d in r["diagnoses"]
+        }
+        assert diagnosed == set(run.ch.diagnoser.diagnosed)
+
+    def test_explain_cli_renders_chain(self, span_run, capsys):
+        from repro.cli import main
+
+        _, out = span_run
+        assert main(["explain", str(out)]) == 0
+        listing = capsys.readouterr().out
+        assert "decision" in listing
+        prov = ProvenanceIndex(read_jsonl(out / "spans.jsonl"))
+        decision_id = prov.decision_ids()[0]
+        assert main(
+            ["explain", str(out), "--decision", str(decision_id)]
+        ) == 0
+        rendered = capsys.readouterr().out
+        assert "supporters" in rendered
+        assert "evidence" in rendered
+
+    def test_explain_cli_node_view(self, span_run, capsys):
+        from repro.cli import main
+
+        run, out = span_run
+        node = run.initial_faulty[0]
+        assert main(["explain", str(out), "--node", str(node)]) == 0
+        assert "node" in capsys.readouterr().out
+
+    def test_explain_cli_missing_spans_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["explain", str(tmp_path)]) == 2
+        assert "spans.jsonl" in capsys.readouterr().err

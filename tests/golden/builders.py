@@ -21,9 +21,12 @@ any unintentional drift.
 
 from __future__ import annotations
 
+import itertools
 import json
 from dataclasses import replace
 from typing import Callable, Dict
+
+import numpy as np
 
 from repro.experiments import experiment1, experiment2, experiment3
 from repro.experiments.config import (
@@ -33,6 +36,9 @@ from repro.experiments.config import (
 )
 from repro.experiments.experiment4 import Experiment4Config
 from repro.experiments import experiment4
+from repro.experiments.harness import CorrectSpec, FaultSpec, SimulationRun
+from repro.network import messages
+from repro.obs.provenance import ProvenanceIndex
 
 
 def _normalise(doc: Dict[str, object]) -> Dict[str, object]:
@@ -76,6 +82,85 @@ def build_experiment2() -> Dict[str, object]:
             "fault_level": config.fault_level,
         },
         "accuracy": experiment2.run_point(config, point, trial),
+    })
+
+
+def build_exp2_provenance() -> Dict[str, object]:
+    """The exp2 golden point rerun with spans: one diagnosis's chain.
+
+    Same config, seed, and faulty draw as :func:`build_experiment2`,
+    but through a span-collecting :class:`SimulationRun` with a
+    diagnosis threshold (exp2 proper never diagnoses), so the fixture
+    freezes the *causal provenance* of the first decision that
+    diagnosed a node -- every evidence hop, vote input, and trust
+    transition, byte for byte.  Drift here means the explanation layer
+    changed what it records, not just that a number moved.
+    """
+    config = replace(
+        Experiment2Config(), n_nodes=36, field_side=60.0, events_per_run=25
+    )
+    point, trial = 30.0, 0
+    seed = config.seed + 104729 * trial + int(10 * point)
+    rng = np.random.default_rng(seed)
+    faulty_ids = rng.choice(
+        config.n_nodes, size=config.n_faulty(point), replace=False
+    )
+    # Message, decision, and collection-circle ids draw from
+    # process-global streams and land in span args; reset them so the
+    # fixture does not depend on what earlier tests in the same process
+    # created.
+    from repro.clusterctl import head as _head
+    from repro.core import concurrent as _concurrent
+
+    messages._message_ids = itertools.count(1)
+    _head._decision_ids = itertools.count(1)
+    _concurrent._circle_ids = itertools.count(1)
+    run = SimulationRun(
+        mode="location",
+        n_nodes=config.n_nodes,
+        field_side=config.field_side,
+        deployment_kind="grid",
+        sensing_radius=config.sensing_radius,
+        r_error=config.r_error,
+        lam=config.lam,
+        fault_rate=config.fault_rate,
+        use_trust=config.use_trust,
+        correct_spec=CorrectSpec(sigma=config.sigma_correct),
+        fault_spec=FaultSpec(
+            level=config.fault_level,
+            drop_rate=config.faulty_drop_rate,
+            sigma=config.sigma_faulty,
+            lower_ti=config.lower_ti,
+            upper_ti=config.upper_ti,
+        ),
+        faulty_ids=faulty_ids,
+        channel_loss=config.channel_loss,
+        diagnosis_threshold=0.3,
+        seed=seed,
+        tracing=False,
+        spans=True,
+    )
+    run.run(config.events_per_run)
+    prov = ProvenanceIndex(run.spans.to_records())
+    chain = None
+    for decision_id in prov.decision_ids():
+        record = prov.decision_provenance(decision_id)
+        if record["diagnoses"]:
+            chain = record
+            break
+    assert chain is not None, "golden point produced no diagnosis"
+    return _normalise({
+        "experiment": 2,
+        "point": point,
+        "trial": trial,
+        "config": {
+            "n_nodes": config.n_nodes,
+            "events_per_run": config.events_per_run,
+            "seed": seed,
+        },
+        "spans_emitted": run.spans.emitted,
+        "decisions_indexed": len(prov.decision_ids()),
+        "provenance": chain,
     })
 
 
@@ -132,6 +217,7 @@ def build_experiment4() -> Dict[str, object]:
 BUILDERS: Dict[str, Callable[[], Dict[str, object]]] = {
     "exp1": build_experiment1,
     "exp2": build_experiment2,
+    "exp2_provenance": build_exp2_provenance,
     "exp3": build_experiment3,
     "exp4": build_experiment4,
 }

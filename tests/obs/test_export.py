@@ -8,11 +8,14 @@ from repro.obs.export import (
     MANIFEST_SCHEMA_VERSION,
     SchemaError,
     build_manifest,
+    chrome_trace,
     read_jsonl,
     trace_records,
     validate_artifacts,
     validate_manifest,
     validate_metrics_record,
+    validate_provenance_record,
+    validate_span_record,
     validate_ti_record,
     write_json,
     write_jsonl,
@@ -130,6 +133,117 @@ class TestTraceExport:
         record = list(trace_records(log))[0]
         assert isinstance(record["fields"]["payload"], str)
         json.dumps(record)  # must be serialisable
+
+
+def _span(i, parent, category, time=0.0, **args):
+    return {
+        "id": i, "parent": parent, "category": category,
+        "time": time, "args": args,
+    }
+
+
+class TestSpanRecords:
+    def test_valid_record_passes(self):
+        validate_span_record(_span(2, 1, "report", 0.5, node=3))
+
+    def test_root_span_has_parent_zero(self):
+        validate_span_record(_span(1, 0, "event"))
+
+    def test_nonpositive_id_rejected(self):
+        with pytest.raises(SchemaError, match="positive"):
+            validate_span_record(_span(0, 0, "event"))
+
+    def test_parent_must_be_older(self):
+        # Parents are always emitted before their children.
+        with pytest.raises(SchemaError, match="not older"):
+            validate_span_record(_span(3, 3, "report"))
+        with pytest.raises(SchemaError, match="not older"):
+            validate_span_record(_span(3, 7, "report"))
+
+    def test_empty_category_rejected(self):
+        with pytest.raises(SchemaError, match="category"):
+            validate_span_record(_span(1, 0, ""))
+
+    def test_args_must_be_object(self):
+        record = _span(1, 0, "event")
+        record["args"] = [1, 2]
+        with pytest.raises(SchemaError, match="args"):
+            validate_span_record(record)
+
+
+class TestProvenanceRecords:
+    def make_record(self):
+        from tests.obs.test_provenance import location_forest
+
+        from repro.obs.provenance import ProvenanceIndex
+
+        return ProvenanceIndex(location_forest()).decision_provenance(1)
+
+    def test_real_decision_chain_validates(self):
+        record = self.make_record()
+        validate_provenance_record(record)
+        json.dumps(record)  # and serialises
+
+    def test_wrong_type_rejected(self):
+        record = self.make_record()
+        record["type"] = "diagnosis"
+        with pytest.raises(SchemaError, match="decision"):
+            validate_provenance_record(record)
+
+    def test_evidence_items_need_window_report_span(self):
+        record = self.make_record()
+        del record["evidence"][0]["window_report_span"]
+        with pytest.raises(SchemaError, match="window_report_span"):
+            validate_provenance_record(record)
+
+    def test_vote_shape_checked_when_present(self):
+        record = self.make_record()
+        record["vote"]["cti_r"] = "high"
+        with pytest.raises(SchemaError, match="cti_r"):
+            validate_provenance_record(record)
+
+    def test_null_vote_allowed(self):
+        record = self.make_record()
+        record["vote"] = None
+        validate_provenance_record(record)
+
+
+class TestChromeTrace:
+    def make_spans(self):
+        return [
+            _span(1, 0, "event", 0.0, event_id=1),
+            _span(2, 1, "radio.deliver", 0.1),
+            _span(3, 2, "window.open", 0.1, circle=4),
+            _span(4, 3, "window.close", 0.6, circles=[4], reports=1),
+        ]
+
+    def test_every_span_becomes_an_instant(self):
+        doc = chrome_trace(self.make_spans())
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert [e["name"] for e in instants] == [
+            "event", "radio.deliver", "window.open", "window.close",
+        ]
+        assert instants[1]["tid"] == "radio"  # top-level category lane
+        assert instants[1]["ts"] == pytest.approx(0.1e6)  # microseconds
+
+    def test_window_pairs_become_durations(self):
+        doc = chrome_trace(self.make_spans())
+        bars = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(bars) == 1
+        assert bars[0]["name"] == "window[4]"
+        assert bars[0]["dur"] == pytest.approx(0.5e6)
+        assert bars[0]["args"] == {"open": 3, "close": 4}
+
+    def test_unmatched_close_is_skipped(self):
+        spans = self.make_spans()[:2] + [
+            _span(3, 2, "window.close", 0.6, circles=[9], reports=0)
+        ]
+        doc = chrome_trace(spans)
+        assert not [e for e in doc["traceEvents"] if e["ph"] == "X"]
+
+    def test_document_shape(self):
+        doc = chrome_trace([])
+        assert doc == {"traceEvents": [], "displayTimeUnit": "ms"}
 
 
 class TestFileIO:

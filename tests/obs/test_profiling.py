@@ -88,6 +88,41 @@ class TestPhaseTimers:
         finally:
             uninstall_phase_timers()
 
+    @pytest.mark.parametrize("backend", ["array", "object"])
+    def test_decision_phase_covers_both_backends(self, monkeypatch, backend):
+        """The decision phase is non-trivial whichever backend runs.
+
+        The array kernel's small windows bypass ``cluster_reports_xy``
+        (flat scalar clustering), so the ``decision`` rebind on
+        ``DecisionKernel.decide_rows`` / ``LocationDecisionEngine.decide``
+        is what keeps the array backend from profiling as all-``des``.
+        """
+        from repro.core.decision_kernel import DECISION_ENV
+        from repro.experiments.harness import SimulationRun
+
+        monkeypatch.setenv(DECISION_ENV, backend)
+        install_phase_timers()
+        try:
+            reset_phases()
+            run = SimulationRun(
+                mode="location",
+                n_nodes=25,
+                field_side=50.0,
+                sensing_radius=20.0,
+                faulty_ids=(0, 1, 2),
+                diagnosis_threshold=0.3,
+                seed=77,
+            )
+            run.run(6)
+            snap = phase_snapshot()
+        finally:
+            uninstall_phase_timers()
+        assert run.ch.decisions, "run produced no decisions to time"
+        assert snap["des"] > 0.0
+        assert snap["decision"] > 0.0
+        # The window pipeline runs inside DES callbacks.
+        assert snap["decision"] <= snap["des"]
+
 
 class TestSweepProfile:
     def make_profile(self):

@@ -42,8 +42,21 @@ class TestInstruments:
     def test_empty_histogram_snapshot_has_no_quantiles(self):
         snap = Histogram("empty").snapshot()
         assert snap["count"] == 0
-        assert snap["mean"] == 0.0
+        assert "mean" not in snap  # NaN is not strict JSON
         assert "p50" not in snap and "min" not in snap
+
+    def test_empty_histogram_mean_is_nan(self):
+        import math
+
+        assert math.isnan(Histogram("empty").mean)
+
+    def test_empty_histogram_quantile_raises(self):
+        with pytest.raises(ValueError, match="empty histogram 'empty'"):
+            Histogram("empty").quantile(0.5)
+
+    def test_empty_timer_quantile_names_the_kind(self):
+        with pytest.raises(ValueError, match="empty timer 'wall'"):
+            Timer("wall").quantile(0.9)
 
     def test_histogram_quantiles_nearest_rank(self):
         h = Histogram("q")
@@ -100,6 +113,34 @@ class TestRegistry:
         reg.counter("z").inc()
         reg.gauge("a").set(1.0)
         assert [r["name"] for r in reg.snapshot()] == ["a", "z"]
+
+    def test_truncated_reservoirs_surface_as_counter(self):
+        from repro.obs import registry as mod
+        from repro.obs.registry import TRUNCATED_COUNTER
+
+        reg = MetricsRegistry()
+        small = reg.histogram("small")
+        small.observe(1.0)
+        big = reg.histogram("big")
+        for v in range(mod._RESERVOIR_MAX + 1):
+            big.observe(float(v))
+        assert reg.truncated_names() == ["big"]
+        records = {r["name"]: r for r in reg.snapshot()}
+        assert records[TRUNCATED_COUNTER]["type"] == "counter"
+        assert records[TRUNCATED_COUNTER]["value"] == 1
+        # Repeat snapshots recompute rather than double-count.
+        records = {r["name"]: r for r in reg.snapshot()}
+        assert records[TRUNCATED_COUNTER]["value"] == 1
+
+    def test_no_truncation_means_no_truncated_counter(self):
+        from repro.obs.registry import TRUNCATED_COUNTER
+
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(1.0)
+        assert reg.truncated_names() == []
+        assert TRUNCATED_COUNTER not in {
+            r["name"] for r in reg.snapshot()
+        }
 
     def test_merge_counters_folds_values(self):
         a, b = MetricsRegistry(), MetricsRegistry()
