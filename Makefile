@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-save bench-compare bench-e2e bench-e2e-compare bench-e2e-save profile profile-e2e examples figures golden-save chaos clean
+.PHONY: install test bench bench-save bench-compare bench-e2e bench-e2e-compare bench-e2e-save bench-service bench-service-compare bench-service-save profile profile-e2e examples figures golden-save chaos serve clean
 
 install:
 	pip install -e '.[test]'
@@ -36,6 +36,16 @@ bench-e2e-compare:
 bench-e2e-save:
 	$(PYTHON) benchmarks/bench_e2e.py save
 
+# Trust-service load benches: resident-session scale, ingest
+# throughput/latency, and HTTP round trips (BENCH_service.json).
+bench-service: bench-service-compare
+
+bench-service-compare:
+	$(PYTHON) benchmarks/bench_service.py compare
+
+bench-service-save:
+	$(PYTHON) benchmarks/bench_service.py save
+
 # cProfile one representative Experiment 2 sweep point and print the
 # top-20 cumulative functions -- the next hot spot, one command away.
 profile:
@@ -61,6 +71,10 @@ examples:
 # Only after an INTENTIONAL behaviour change; review and commit the diff.
 golden-save:
 	PYTHONPATH=src $(PYTHON) -m tests.golden.generate
+
+# Serve the trust-session engine over HTTP (see docs/service.md).
+serve:
+	PYTHONPATH=src $(PYTHON) -m repro serve
 
 # Quick deterministic fault-injection campaign (see docs/chaos.md).
 chaos:

@@ -146,6 +146,33 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="export manifest, results.jsonl and the "
                               "plan files here")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="multi-tenant trust-session HTTP service (see docs/service.md)",
+    )
+    p_serve.add_argument("--host", type=str, default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8337,
+                         help="0 binds an ephemeral port")
+    p_serve.add_argument("--mode", choices=("binary", "location"),
+                         default="location",
+                         help="session template: decision mode")
+    p_serve.add_argument("--nodes", type=int, default=36,
+                         help="session template: nodes per cluster grid")
+    p_serve.add_argument("--field-side", type=float, default=60.0)
+    p_serve.add_argument("--sensing-radius", type=float, default=20.0)
+    p_serve.add_argument("--r-error", type=float, default=5.0)
+    p_serve.add_argument("--lambda", dest="lam", type=float, default=0.25,
+                         help="TI decay rate")
+    p_serve.add_argument("--fault-rate", type=float, default=0.1)
+    p_serve.add_argument("--baseline", action="store_true",
+                         help="stateless majority voting instead of TIBFIT")
+    p_serve.add_argument("--diagnosis-threshold", type=float, default=None)
+    p_serve.add_argument("--max-sessions", type=int, default=100_000,
+                         help="LRU-evict idle sessions beyond this (0 = "
+                              "unbounded)")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log every request to stderr")
+
     p_an = sub.add_parser("analyze", help="closed-form analysis (§5)")
     an_sub = p_an.add_subparsers(dest="analysis", required=True)
     p_base = an_sub.add_parser("baseline", help="eqs. 1-3 curve")
@@ -765,6 +792,39 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.trust import TrustParameters
+    from repro.service.http_api import ServiceConfig, serve
+
+    config = ServiceConfig(
+        mode=args.mode,
+        n_nodes=args.nodes,
+        field_side=args.field_side,
+        sensing_radius=args.sensing_radius,
+        r_error=args.r_error,
+        trust=TrustParameters(lam=args.lam, fault_rate=args.fault_rate),
+        use_trust=not args.baseline,
+        diagnosis_threshold=args.diagnosis_threshold,
+        max_sessions=args.max_sessions,
+    )
+    server, _manager = serve(
+        config, host=args.host, port=args.port, verbose=args.verbose
+    )
+    host, port = server.server_address[:2]
+    print(
+        f"tibfit-repro serving {config.mode} sessions on "
+        f"http://{host}:{port} (max {config.max_sessions or 'unbounded'} "
+        f"sessions)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -777,6 +837,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "rotate": _cmd_rotate,
         "analyze": _cmd_analyze,
         "chaos": _cmd_chaos,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

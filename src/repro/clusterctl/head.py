@@ -15,29 +15,25 @@ Two collection modes mirror the paper's two models:
 * ``location`` -- reports are routed through the concurrent-event
   circle tracker (§3.3) and each closed circle group is clustered and
   voted by the location engine (§3.2).
+
+The decision pipeline itself -- trust table, voter, engines, diagnosis
+-- lives in an embedded :class:`~repro.service.session.TrustSession`:
+the CH is one client of the service engine, owning only what is
+DES-specific (timers, the circle tracker, spans/trace/metrics
+emission, and verdict announcements).  ``self.trust``, ``self.voter``,
+``self.diagnoser`` and ``self.decisions`` alias the session's objects,
+so existing consumers see the exact structures they always did.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple
 
-from repro.core.baseline import MajorityVoter
 from repro.core.binary import CtiVoter
 from repro.core.concurrent import CircleTracker
-from repro.core.decision_kernel import (
-    DecisionKernel,
-    ReportBuffer,
-    resolve_decision_backend,
-)
-from repro.core.diagnosis import FaultDiagnoser
-from repro.core.location import (
-    LocatedDecision,
-    LocationDecisionEngine,
-    LocationReport,
-)
-from repro.core.trust import TrustParameters, TrustTable
+from repro.core.location import LocationReport
+from repro.core.trust import TrustParameters
 from repro.network.geometry import Point, displace_xy
 from repro.network.messages import (
     ChDecisionAnnouncement,
@@ -47,6 +43,19 @@ from repro.network.messages import (
 )
 from repro.network.node import NetworkNode
 from repro.network.topology import Deployment
+from repro.service.ids import IdAllocator
+from repro.service.session import (
+    DecisionRecord,
+    SessionConfig,
+    TrustSession,
+)
+
+__all__ = [
+    "ClusterHead",
+    "ClusterHeadConfig",
+    "DecisionRecord",
+    "reset_decision_ids",
+]
 
 
 @dataclass(frozen=True)
@@ -75,6 +84,9 @@ class ClusterHeadConfig:
     announce:
         Broadcast :class:`ChDecisionAnnouncement` after each verdict
         (needed by shadow CHs and by smart adversaries' TI tracking).
+    journal:
+        Record every closed window's raw inputs in the embedded
+        session (differential replay; see ``docs/service.md``).
     """
 
     mode: str = "location"
@@ -86,6 +98,7 @@ class ClusterHeadConfig:
     diagnosis_threshold: Optional[float] = None
     tie_breaks_to_occurred: bool = False
     announce: bool = True
+    journal: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in ("binary", "location"):
@@ -95,20 +108,15 @@ class ClusterHeadConfig:
 
 
 #: Global decision-id source: ids stay unique across every cluster head
-#: in a process, so multi-cluster scoring can key on them safely.
-_decision_ids = itertools.count(1)
+#: in a process, so multi-cluster scoring can key on them safely.  Bare
+#: service sessions default to private allocators instead; reset this
+#: one through :func:`reset_decision_ids`, never by rebinding.
+_decision_ids = IdAllocator()
 
 
-@dataclass(frozen=True)
-class DecisionRecord:
-    """One CH verdict with everything the metrics layer needs."""
-
-    decision_id: int
-    time: float
-    occurred: bool
-    location: Optional[Point]
-    supporters: Tuple[int, ...]
-    dissenters: Tuple[int, ...]
+def reset_decision_ids(start: int = 1) -> None:
+    """Rewind the shared DES decision-id stream (test isolation)."""
+    _decision_ids.reset(start)
 
 
 class ClusterHead(NetworkNode):
@@ -125,6 +133,9 @@ class ClusterHead(NetworkNode):
         See :class:`ClusterHeadConfig`.
     base_station_id:
         Destination for TI hand-off; ``None`` when running standalone.
+    id_allocator:
+        Decision-id source for the embedded session; defaults to the
+        process-shared DES allocator so ids stay unique across heads.
     """
 
     def __init__(
@@ -135,6 +146,7 @@ class ClusterHead(NetworkNode):
         config: ClusterHeadConfig,
         base_station_id: Optional[int] = None,
         cluster_id: int = 0,
+        id_allocator: Optional[IdAllocator] = None,
     ) -> None:
         super().__init__(node_id, position)
         self.deployment = deployment
@@ -142,32 +154,37 @@ class ClusterHead(NetworkNode):
         self.base_station_id = base_station_id
         self.cluster_id = cluster_id
 
-        self.trust = TrustTable(config.trust, deployment.node_ids())
-        if config.use_trust:
-            self.voter: Union[CtiVoter, MajorityVoter] = CtiVoter(
-                self.trust,
+        self.session = TrustSession(
+            deployment,
+            SessionConfig(
+                mode=config.mode,
+                sensing_radius=config.sensing_radius,
+                r_error=config.r_error,
+                trust=config.trust,
+                use_trust=config.use_trust,
+                diagnosis_threshold=config.diagnosis_threshold,
                 tie_breaks_to_occurred=config.tie_breaks_to_occurred,
-            )
-        else:
-            self.voter = MajorityVoter(
-                tie_breaks_to_occurred=config.tie_breaks_to_occurred
-            )
+                owner_id=node_id,
+                journal=config.journal,
+            ),
+            id_allocator=(
+                id_allocator if id_allocator is not None else _decision_ids
+            ),
+        )
+        # Aliases into the session: same objects, the names every
+        # consumer (harness, shadows, base station, tests) relies on.
+        self.trust = self.session.trust
+        self.voter = self.session.voter
+        self.diagnoser = self.session.diagnoser
+        self.decisions: List[DecisionRecord] = self.session.decisions
 
-        self.diagnoser: Optional[FaultDiagnoser] = None
-        if config.use_trust and config.diagnosis_threshold is not None:
-            self.diagnoser = FaultDiagnoser(
-                self.trust, config.diagnosis_threshold, isolate=True
-            )
-
-        self.members: Tuple[int, ...] = deployment.node_ids()
-        self.decisions: List[DecisionRecord] = []
         # Optional TI time-series probe (repro.obs.probes.TrustProbe);
         # sampled once per decision when attached.
         self.probe = None
         self._tracker: Optional[CircleTracker] = None
-        self._engine: Optional[LocationDecisionEngine] = None
-        self._kernel: Optional[DecisionKernel] = None
-        self._report_buffer: Optional[ReportBuffer] = None
+        self._engine = self.session.engine
+        self._kernel = self.session.kernel
+        self._report_buffer = self.session.report_buffer
         self._binary_window: List[EventReportMessage] = []
         self._binary_window_open = False
 
@@ -189,29 +206,14 @@ class ClusterHead(NetworkNode):
             # silent.
             self.trust.spans = spans
         if self.config.mode == "location":
-            # The engine warms the deployment's spatial index with
-            # cell size r_s (see LocationDecisionEngine.__init__).  It
-            # is always built: it is the object-path oracle and the
-            # public decision API some callers drive directly.
-            self._engine = LocationDecisionEngine(
-                deployment=self.deployment,
-                sensing_radius=self.config.sensing_radius,
-                r_error=self.config.r_error,
-                voter=self.voter,
-            )
+            # The session built the engine (always: it is the
+            # object-path oracle and the public decision API) and, under
+            # the array backend, the buffer + kernel.  The tracker is
+            # DES-only -- its circles ride simulator timers -- so it
+            # stays here.
             if spans.enabled:
                 self._engine.spans = spans
-            if resolve_decision_backend() == "array":
-                # Struct-of-arrays hot path: reports accumulate as
-                # buffer rows and windows close straight into the
-                # array kernel (see repro.core.decision_kernel).
-                self._report_buffer = ReportBuffer()
-                self._kernel = DecisionKernel(
-                    deployment=self.deployment,
-                    sensing_radius=self.config.sensing_radius,
-                    r_error=self.config.r_error,
-                    voter=self.voter,
-                )
+            if self._kernel is not None:
                 if spans.enabled:
                     self._kernel.spans = spans
                 self._tracker = CircleTracker(
@@ -229,9 +231,18 @@ class ClusterHead(NetworkNode):
                     on_group=self._decide_group,
                 )
 
+    @property
+    def members(self) -> Tuple[int, ...]:
+        """Cluster membership, held by the embedded session."""
+        return self.session.members
+
+    @members.setter
+    def members(self, members: Sequence[int]) -> None:
+        self.session.members = tuple(members)
+
     def set_members(self, members: Sequence[int]) -> None:
         """Restrict the cluster membership (multi-cluster deployments)."""
-        self.members = tuple(sorted(members))
+        self.session.set_members(members)
 
     # ------------------------------------------------------------------
     # Inbound traffic
@@ -244,7 +255,7 @@ class ClusterHead(NetworkNode):
             self.trust.import_state(message.table)
 
     def _on_report(self, message: EventReportMessage) -> None:
-        if self._excluded(message.sender):
+        if self.session.is_excluded(message.sender):
             return
         if self.config.mode == "binary":
             self._on_binary_report(message)
@@ -327,12 +338,6 @@ class ClusterHead(NetworkNode):
             # nor announce (chaos CH-crash windows).
             return
 
-        excluded = set(self._excluded_set())
-        reporter_set = {m.sender for m in reports} - excluded
-        reporters = sorted(reporter_set)
-        neighbors = [m for m in self.members if m not in excluded
-                     and m != self.node_id]
-        non_reporters = [m for m in neighbors if m not in reporter_set]
         spans = self.sim.spans
         if spans.enabled:
             # The T_out timer carries the window.open context; the close
@@ -343,17 +348,15 @@ class ClusterHead(NetworkNode):
                 circles=[-1],
                 reports=len(reports),
             )
-        vote = self.voter.decide(reporters, non_reporters)
-        self._record_decision(vote.occurred, None, tuple(reporters),
-                              tuple(non_reporters))
+        vote, reporters, non_reporters = self.session.decide_binary(
+            [m.sender for m in reports], now=self.sim.now
+        )
+        self._record_decision(vote.occurred, None, reporters, non_reporters)
 
     def _decide_group(self, reports: List[LocationReport]) -> None:
         if not self.alive:
             return  # see _decide_binary: crashed CHs decide nothing
-        assert self._engine is not None
-        decisions = self._engine.decide(
-            reports, excluded_nodes=self._excluded_set()
-        )
+        decisions = self.session.decide_reports(reports, now=self.sim.now)
         for decision in decisions:
             self._record_decision(
                 decision.occurred,
@@ -367,10 +370,7 @@ class ClusterHead(NetworkNode):
         """Row-mode :meth:`_decide_group`: closed window as buffer rows."""
         if not self.alive:
             return  # see _decide_binary: crashed CHs decide nothing
-        assert self._kernel is not None and self._report_buffer is not None
-        decisions = self._kernel.decide_rows(
-            self._report_buffer, rows, excluded_nodes=self._excluded_set()
-        )
+        decisions = self.session.decide_rows(rows, now=self.sim.now)
         for decision in decisions:
             self._record_decision(
                 decision.occurred,
@@ -388,15 +388,9 @@ class ClusterHead(NetworkNode):
         dissenters: Tuple[int, ...],
         span_id: int = 0,
     ) -> None:
-        record = DecisionRecord(
-            decision_id=next(_decision_ids),
-            time=self.sim.now,
-            occurred=occurred,
-            location=location,
-            supporters=supporters,
-            dissenters=dissenters,
+        record = self.session.record(
+            occurred, location, supporters, dissenters, now=self.sim.now
         )
-        self.decisions.append(record)
         self.sim.trace.emit(
             self.sim.now,
             "ch.decision",
@@ -426,23 +420,22 @@ class ClusterHead(NetworkNode):
             metrics.counter(
                 "ch.decision.occurred" if occurred else "ch.decision.rejected"
             ).inc()
-        if self.diagnoser is not None:
-            for entry in self.diagnoser.sweep(self.sim.now):
-                self.sim.trace.emit(
-                    self.sim.now,
+        for entry in self.session.sweep(self.sim.now):
+            self.sim.trace.emit(
+                self.sim.now,
+                "ch.diagnosis",
+                node=entry.node_id,
+                ti=entry.ti_at_diagnosis,
+            )
+            if spans.enabled:
+                spans.point(
                     "ch.diagnosis",
+                    parent=decision_ctx,
                     node=entry.node_id,
                     ti=entry.ti_at_diagnosis,
                 )
-                if spans.enabled:
-                    spans.point(
-                        "ch.diagnosis",
-                        parent=decision_ctx,
-                        node=entry.node_id,
-                        ti=entry.ti_at_diagnosis,
-                    )
-                if metrics.enabled:
-                    metrics.counter("ch.diagnosis").inc()
+            if metrics.enabled:
+                metrics.counter("ch.diagnosis").inc()
         if self.probe is not None:
             # After vote updates and the diagnosis sweep, so the sample
             # at a diagnosis time already shows the sub-threshold TI.
@@ -499,14 +492,10 @@ class ClusterHead(NetworkNode):
     # Helpers
     # ------------------------------------------------------------------
     def _excluded_set(self) -> Tuple[int, ...]:
-        if self.diagnoser is None:
-            return ()
-        return self.diagnoser.excluded_nodes()
+        return self.session.excluded_nodes()
 
     def _excluded(self, node_id: int) -> bool:
-        if self.diagnoser is None:
-            return False
-        return self.diagnoser.is_excluded(node_id)
+        return self.session.is_excluded(node_id)
 
     def flush(self) -> None:
         """Close any open collection windows immediately (end of run)."""

@@ -44,6 +44,12 @@ from repro.simkernel.simulator import Simulator
 _circle_ids = itertools.count(1)
 
 
+def reset_circle_ids(start: int = 1) -> None:
+    """Rewind the process-global circle-id stream (test isolation)."""
+    global _circle_ids
+    _circle_ids = itertools.count(start)
+
+
 @dataclass
 class EventCircle:
     """One open collection circle.

@@ -11,7 +11,7 @@ node from voting and, in the full simulation, from the radio channel --
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.trust import TrustTable
 
@@ -109,6 +109,17 @@ class FaultDiagnoser:
             if self.isolate and self._on_isolate is not None:
                 self._on_isolate(node_id)
         return fresh
+
+    def restore(self, node_ids: "Iterable[int]") -> None:
+        """Re-mark nodes as already diagnosed (session-state import).
+
+        Unlike :meth:`sweep` this neither appends log entries nor fires
+        the isolation hook -- the diagnoses happened in the exporting
+        session; this just restores the resulting exclusion set.
+        """
+        for node_id in node_ids:
+            self._diagnosed.add(int(node_id))
+        self._diagnosed_sorted = None
 
     def pardon(self, node_id: int) -> None:
         """Remove a node from the diagnosed set (limited recovery, §1)."""

@@ -166,6 +166,7 @@ class SimulationRun:
         tracing: bool = True,
         observe: bool = False,
         spans: bool = False,
+        journal: bool = False,
         chaos_plan: Optional[FaultPlan] = None,
     ) -> None:
         if mode not in ("binary", "location"):
@@ -202,6 +203,7 @@ class SimulationRun:
         self.seed = seed
         self.tracing = tracing
         self.observe = observe
+        self.journal = journal
         self.chaos_plan = chaos_plan
         self.chaos: Optional[ChaosController] = None
         self._retired_chs: List[ClusterHead] = []
@@ -295,6 +297,7 @@ class SimulationRun:
                 trust=self.trust_params,
                 use_trust=self.use_trust,
                 diagnosis_threshold=self.diagnosis_threshold,
+                journal=self.journal,
             ),
         )
         self.channel.register(self.ch)
@@ -691,6 +694,23 @@ class SimulationRun:
         assert self.ch is not None
         return self.ch.trust.tis()
 
+    def session_journal(self) -> List[Dict[str, object]]:
+        """Every decided window's raw inputs, across the run's CHs.
+
+        Requires ``journal=True``.  One JSON-serialisable record per
+        closed window in close order (see
+        :meth:`repro.service.session.TrustSession.journal_records`);
+        feeding them through ``TrustSession.replay_window`` on a fresh
+        session reproduces the run's trust state bit for bit.  After a
+        chaos CH failover the segments concatenate per head -- replay
+        must mirror the trust hand-off between segments itself.
+        """
+        assert self.ch is not None
+        records: List[Dict[str, object]] = []
+        for ch in (*self._retired_chs, self.ch):
+            records.extend(ch.session.journal_records())
+        return records
+
     # ------------------------------------------------------------------
     # Observability export
     # ------------------------------------------------------------------
@@ -769,6 +789,10 @@ class SimulationRun:
                 out / "ti_series.jsonl", self.probe.to_records()
             ),
         }
+        if self.journal:
+            paths["session_journal"] = write_jsonl(
+                out / "session_journal.jsonl", self.session_journal()
+            )
         if self.spans.enabled:
             span_dump = list(self.spans.to_records())
             paths["spans"] = write_jsonl(out / "spans.jsonl", span_dump)

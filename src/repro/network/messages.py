@@ -20,6 +20,12 @@ def _next_message_id() -> int:
     return next(_message_ids)
 
 
+def reset_message_ids(start: int = 1) -> None:
+    """Rewind the process-global message-id stream (test isolation)."""
+    global _message_ids
+    _message_ids = itertools.count(start)
+
+
 @dataclass(frozen=True)
 class Message:
     """Base class for all network messages.

@@ -252,6 +252,43 @@ def validate_provenance_record(record: object) -> None:
             _require(vote, f"{where} vote", key, list)
 
 
+def validate_session_journal_record(record: object) -> None:
+    """Raise :class:`SchemaError` unless ``record`` is one closed window.
+
+    The session journal (``session_journal.jsonl``, written by runs
+    created with ``journal=True``) carries one record per decided
+    window: the raw inputs the trust engine saw, replayable through
+    :meth:`repro.service.session.TrustSession.replay_window`.
+    """
+    if not isinstance(record, dict):
+        raise SchemaError("session-journal record must be a JSON object")
+    mode = _require(record, "session-journal record", "mode", str)
+    if mode not in ("binary", "location"):
+        raise SchemaError(
+            f"session-journal record mode {mode!r} not binary/location"
+        )
+    where = f"session-journal {mode} window"
+    _require(record, where, "time", (int, float))
+    if mode == "binary":
+        senders = _require(record, where, "senders", list)
+        for sender in senders:
+            if not isinstance(sender, int):
+                raise SchemaError(f"{where}: senders must be node ids")
+        return
+    rows = _require(record, where, "rows", list)
+    for row in rows:
+        if not (isinstance(row, list) and len(row) == 4):
+            raise SchemaError(
+                f"{where}: rows must be [node, x, y, time] quadruples"
+            )
+        node_id, x, y, time = row
+        if not isinstance(node_id, int):
+            raise SchemaError(f"{where}: row node id must be an int")
+        for value in (x, y, time):
+            if not isinstance(value, (int, float)):
+                raise SchemaError(f"{where}: row coordinates must be numbers")
+
+
 def chrome_trace(spans) -> Dict[str, object]:
     """A Chrome-trace / Perfetto document for one run's spans.
 
@@ -417,6 +454,13 @@ def validate_artifacts(directory) -> Dict[str, int]:
         for record in spans:
             validate_span_record(record)
         counts["spans.jsonl"] = len(spans)
+
+    journal_path = directory / "session_journal.jsonl"
+    if journal_path.exists():
+        journal = read_jsonl(journal_path)
+        for record in journal:
+            validate_session_journal_record(record)
+        counts["session_journal.jsonl"] = len(journal)
 
     provenance_path = directory / "provenance.jsonl"
     if provenance_path.exists():

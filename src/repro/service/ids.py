@@ -1,0 +1,57 @@
+"""Explicit id allocation for reproducible sessions.
+
+The DES layer historically drew decision ids from a process-global
+``itertools.count`` -- convenient for cross-cluster uniqueness, but it
+made runs reproducible only if every test remembered to reset the
+stream by hand (the golden-provenance builder did exactly that).
+:class:`IdAllocator` is the explicit replacement: a tiny resettable
+counter that can be *owned*.  Each bare :class:`~repro.service.session.
+TrustSession` defaults to its own allocator, so two sessions fed the
+same report stream mint the same decision ids with no global state
+involved; the DES cluster heads share one module-level allocator
+(``repro.clusterctl.head._decision_ids``) to keep ids unique across
+heads, and reset it through :func:`repro.clusterctl.head.
+reset_decision_ids` instead of rebinding module globals.
+"""
+
+from __future__ import annotations
+
+__all__ = ["IdAllocator"]
+
+
+class IdAllocator:
+    """A resettable monotonic id source (``next(alloc)`` yields ints).
+
+    Drop-in for ``itertools.count`` on the allocation side -- the same
+    ``next()`` protocol -- plus the two operations a count cannot do:
+    :meth:`peek` (what id comes next, for state export) and
+    :meth:`reset` (rewind, for state import and test isolation).
+    """
+
+    __slots__ = ("_next_id",)
+
+    def __init__(self, start: int = 1) -> None:
+        if start < 0:
+            raise ValueError(f"start must be non-negative, got {start}")
+        self._next_id = start
+
+    def __next__(self) -> int:
+        value = self._next_id
+        self._next_id = value + 1
+        return value
+
+    def __iter__(self) -> "IdAllocator":
+        return self
+
+    def peek(self) -> int:
+        """The id the next ``next()`` call will return (no side effect)."""
+        return self._next_id
+
+    def reset(self, start: int = 1) -> None:
+        """Rewind the stream so the next id is ``start``."""
+        if start < 0:
+            raise ValueError(f"start must be non-negative, got {start}")
+        self._next_id = start
+
+    def __repr__(self) -> str:
+        return f"IdAllocator(next={self._next_id})"

@@ -1,0 +1,186 @@
+"""Multi-tenant session registry: many trust sessions, one process.
+
+:class:`SessionManager` holds tens of thousands of independent
+:class:`~repro.service.session.TrustSession` objects keyed by a
+tenant/cluster id string.  It provides the three things the HTTP layer
+(and any embedding server) needs:
+
+* **lazy creation** -- unknown keys are built by the injected factory
+  on first touch;
+* **bounded residency** -- a max-session cap with LRU eviction of idle
+  sessions (an ``OrderedDict`` move-to-end on every touch *is* the LRU
+  order, so eviction is O(1) and needs no clock);
+* **safe concurrency** -- one :class:`threading.Lock` per session plus
+  a registry lock, so ingests for different tenants run in parallel
+  while a single session's window state is never raced.
+
+Evicted sessions can be persisted through the ``on_evict`` hook (their
+``export_state()`` round-trips through JSON; see ``docs/service.md``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.service.session import TrustSession
+
+__all__ = ["SessionManager", "SessionSlot"]
+
+
+class SessionSlot:
+    """One managed session plus its ingest lock."""
+
+    __slots__ = ("key", "session", "lock")
+
+    def __init__(self, key: str, session: TrustSession) -> None:
+        self.key = key
+        self.session = session
+        self.lock = threading.Lock()
+
+
+class SessionManager:
+    """A capped, LRU-evicting registry of trust sessions.
+
+    Parameters
+    ----------
+    factory:
+        ``factory(key) -> TrustSession`` builder for unknown keys.
+    max_sessions:
+        Residency cap; reaching it evicts the least-recently-used idle
+        session.  ``0`` means unbounded.
+    on_evict:
+        Optional hook ``on_evict(key, session)`` called (outside the
+        registry lock) for every evicted session -- the place to
+        persist ``session.export_state()``.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[str], TrustSession],
+        max_sessions: int = 0,
+        on_evict: Optional[Callable[[str, TrustSession], None]] = None,
+    ) -> None:
+        if max_sessions < 0:
+            raise ValueError(
+                f"max_sessions must be non-negative, got {max_sessions}"
+            )
+        self._factory = factory
+        self.max_sessions = max_sessions
+        self._on_evict = on_evict
+        self._slots: "OrderedDict[str, SessionSlot]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.created = 0
+        self.evicted = 0
+
+    # ------------------------------------------------------------------
+    # Lookup / creation
+    # ------------------------------------------------------------------
+    def _get_slot(self, key: str) -> Optional[SessionSlot]:
+        """The slot for ``key`` if resident (touches LRU order)."""
+        with self._lock:
+            slot = self._slots.get(key)
+            if slot is not None:
+                self._slots.move_to_end(key)
+            return slot
+
+    def _get_or_create_slot(self, key: str) -> SessionSlot:
+        """The slot for ``key``, building (and possibly evicting) as needed."""
+        evictions: List[Tuple[str, TrustSession]] = []
+        with self._lock:
+            slot = self._slots.get(key)
+            if slot is not None:
+                self._slots.move_to_end(key)
+                return slot
+            if self.max_sessions and len(self._slots) >= self.max_sessions:
+                evictions = self._evict_lru_locked(
+                    len(self._slots) - self.max_sessions + 1
+                )
+            slot = SessionSlot(key, self._factory(key))
+            self._slots[key] = slot
+            self.created += 1
+        for evicted_key, session in evictions:
+            if self._on_evict is not None:
+                self._on_evict(evicted_key, session)
+        return slot
+
+    def get(self, key: str) -> Optional[TrustSession]:
+        """The session for ``key`` if resident (touches LRU order)."""
+        slot = self._get_slot(key)
+        return None if slot is None else slot.session
+
+    def get_or_create(self, key: str) -> TrustSession:
+        """The session for ``key``, building (and possibly evicting) one."""
+        return self._get_or_create_slot(key).session
+
+    @contextmanager
+    def locked(self, key: str, create: bool = True) -> Iterator[TrustSession]:
+        """Context manager: the session for ``key`` under its own lock.
+
+        With ``create=False`` raises :class:`KeyError` for non-resident
+        keys instead of building one.
+        """
+        if create:
+            slot = self._get_or_create_slot(key)
+        else:
+            found = self._get_slot(key)
+            if found is None:
+                raise KeyError(key)
+            slot = found
+        with slot.lock:
+            yield slot.session
+
+    # ------------------------------------------------------------------
+    # Eviction / removal
+    # ------------------------------------------------------------------
+    def _evict_lru_locked(self, count: int) -> List[Tuple[str, TrustSession]]:
+        """Drop up to ``count`` idle sessions, oldest-touched first.
+
+        Sessions whose lock is currently held (mid-ingest on another
+        thread) are skipped -- evicting those would hand the worker a
+        dangling session.  Caller holds the registry lock.
+        """
+        evicted: List[Tuple[str, TrustSession]] = []
+        for key in list(self._slots):
+            if len(evicted) >= count:
+                break
+            slot = self._slots[key]
+            if slot.lock.locked():
+                continue
+            del self._slots[key]
+            evicted.append((key, slot.session))
+        self.evicted += len(evicted)
+        return evicted
+
+    def remove(self, key: str) -> bool:
+        """Drop ``key`` outright (no ``on_evict`` call); True if present."""
+        with self._lock:
+            return self._slots.pop(key, None) is not None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._slots)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._slots
+
+    def keys(self) -> List[str]:
+        """Resident session keys, least-recently-used first."""
+        with self._lock:
+            return list(self._slots)
+
+    def stats(self) -> Dict[str, int]:
+        """Registry counters for health endpoints and benchmarks."""
+        with self._lock:
+            return {
+                "sessions": len(self._slots),
+                "max_sessions": self.max_sessions,
+                "created": self.created,
+                "evicted": self.evicted,
+            }

@@ -21,7 +21,6 @@ any unintentional drift.
 
 from __future__ import annotations
 
-import itertools
 import json
 from dataclasses import replace
 from typing import Callable, Dict
@@ -109,12 +108,12 @@ def build_exp2_provenance() -> Dict[str, object]:
     # process-global streams and land in span args; reset them so the
     # fixture does not depend on what earlier tests in the same process
     # created.
-    from repro.clusterctl import head as _head
-    from repro.core import concurrent as _concurrent
+    from repro.clusterctl.head import reset_decision_ids
+    from repro.core.concurrent import reset_circle_ids
 
-    messages._message_ids = itertools.count(1)
-    _head._decision_ids = itertools.count(1)
-    _concurrent._circle_ids = itertools.count(1)
+    messages.reset_message_ids()
+    reset_decision_ids()
+    reset_circle_ids()
     run = SimulationRun(
         mode="location",
         n_nodes=config.n_nodes,

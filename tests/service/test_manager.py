@@ -1,0 +1,160 @@
+"""SessionManager: capacity cap, LRU eviction, and thread safety."""
+
+import threading
+
+import pytest
+
+from repro.core.trust import TrustParameters
+from repro.network.geometry import Region
+from repro.network.topology import grid_deployment
+from repro.service.manager import SessionManager
+from repro.service.session import SessionConfig, TrustSession
+
+
+def make_factory(n=9, side=30.0):
+    deployment = grid_deployment(n, Region.square(side))
+    config = SessionConfig(
+        mode="binary", trust=TrustParameters(lam=0.25, fault_rate=0.1)
+    )
+
+    def factory(key):
+        return TrustSession(deployment, config)
+
+    return factory
+
+
+class TestLifecycle:
+    def test_get_or_create_then_get(self):
+        manager = SessionManager(make_factory())
+        created = manager.get_or_create("t1")
+        assert manager.get("t1") is created
+        assert manager.get_or_create("t1") is created
+        assert "t1" in manager
+        assert len(manager) == 1
+        assert manager.get("missing") is None
+
+    def test_remove(self):
+        manager = SessionManager(make_factory())
+        manager.get_or_create("t1")
+        assert manager.remove("t1")
+        assert not manager.remove("t1")
+        assert len(manager) == 0
+
+    def test_stats(self):
+        manager = SessionManager(make_factory(), max_sessions=2)
+        for key in ("a", "b", "c"):
+            manager.get_or_create(key)
+        stats = manager.stats()
+        assert stats["sessions"] == 2
+        assert stats["max_sessions"] == 2
+        assert stats["created"] == 3
+        assert stats["evicted"] == 1
+
+
+class TestEviction:
+    def test_cap_evicts_least_recently_used(self):
+        manager = SessionManager(make_factory(), max_sessions=3)
+        for key in ("a", "b", "c"):
+            manager.get_or_create(key)
+        manager.get("a")  # touch: "b" is now the LRU entry
+        manager.get_or_create("d")
+        assert sorted(manager.keys()) == ["a", "c", "d"]
+
+    def test_on_evict_hook(self):
+        evicted = []
+        manager = SessionManager(
+            make_factory(),
+            max_sessions=2,
+            on_evict=lambda key, session: evicted.append(key),
+        )
+        for key in ("a", "b", "c", "d"):
+            manager.get_or_create(key)
+        assert evicted == ["a", "b"]
+
+    def test_busy_slot_is_skipped(self):
+        manager = SessionManager(make_factory(), max_sessions=2)
+        manager.get_or_create("a")
+        manager.get_or_create("b")
+        with manager.locked("a"):  # "a" is LRU but mid-operation
+            manager.get_or_create("c")
+        assert sorted(manager.keys()) == ["a", "c"]
+
+    def test_unlimited_by_default(self):
+        manager = SessionManager(make_factory())
+        for i in range(64):
+            manager.get_or_create(f"t{i}")
+        assert len(manager) == 64
+        assert manager.stats()["evicted"] == 0
+
+
+class TestLocked:
+    def test_locked_creates_by_default(self):
+        manager = SessionManager(make_factory())
+        with manager.locked("t1") as session:
+            assert session.ingest(0)
+        assert manager.get("t1") is session
+
+    def test_locked_without_create_raises(self):
+        manager = SessionManager(make_factory())
+        with pytest.raises(KeyError):
+            with manager.locked("missing", create=False):
+                pass
+
+
+class TestConcurrency:
+    def test_parallel_ingest_distinct_keys(self):
+        manager = SessionManager(make_factory())
+        windows, errors = 16, []
+
+        def work(key):
+            try:
+                for window in range(windows):
+                    with manager.locked(key) as session:
+                        for node in range(5):
+                            session.ingest(node)
+                        session.close_window(now=float(window))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # Every session saw exactly its own traffic: identical outcomes.
+        reference = manager.get("t0")
+        for i in range(8):
+            session = manager.get(f"t{i}")
+            assert session.windows_closed == windows
+            assert session.tis() == reference.tis()
+            assert [r.decision_id for r in session.decisions] == [
+                r.decision_id for r in reference.decisions
+            ]
+
+    def test_parallel_ingest_shared_key(self):
+        manager = SessionManager(make_factory())
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def work():
+            try:
+                barrier.wait()
+                for _ in range(50):
+                    with manager.locked("shared") as session:
+                        session.ingest(0)
+                        session.close_window(now=1.0)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        session = manager.get("shared")
+        assert session.windows_closed == 200
+        assert len(session.decisions) == 200
